@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Extension — approximate computing (section VI future work): dropping "
+      "only vs drop-or-downgrade, robustness and weighted utility",
+      taskdrop::ablation_approx);
+}

@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Ablation — running-task completion PMF: unconditioned (paper) vs "
+      "conditioned on not-finished-yet (repo extension)",
+      taskdrop::ablation_conditioning);
+}

@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Ablation — PAM batch-queue deferring (disabled in the paper's "
+      "comparison, section V-B3): PAM vs PAMD with and without dropping",
+      taskdrop::ablation_deferral);
+}

@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Ablation — dropper engagement policy: on-deadline-miss (section V-A) "
+      "vs every mapping event (Fig. 4)",
+      taskdrop::ablation_engagement);
+}

@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Extension — robustness under machine failures (section VI future "
+      "work): PAM with reactive-only vs proactive heuristic dropping",
+      taskdrop::ablation_failures);
+}

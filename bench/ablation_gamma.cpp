@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Sensitivity — deadline-slack coefficient gamma (the reproduction's "
+      "one calibrated parameter; 30k level)",
+      taskdrop::ablation_gamma);
+}

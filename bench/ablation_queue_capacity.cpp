@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Sensitivity — machine-queue capacity (paper fixes 6, running task "
+      "included; 30k level)",
+      taskdrop::ablation_queue_capacity);
+}

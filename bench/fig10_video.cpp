@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Fig. 10 — proactive task dropping on the video-transcoding workload "
+      "(moderate oversubscription)",
+      taskdrop::fig10_video);
+}

@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Fig. 5 — impact of effective depth (eta) on system robustness "
+      "(PAM + proactive dropping heuristic)",
+      taskdrop::fig5_effective_depth);
+}

@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Fig. 6 — impact of the robustness improvement factor (beta) on system "
+      "robustness (PAM + proactive dropping heuristic)",
+      taskdrop::fig6_beta);
+}

@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Fig. 7a — proactive task dropping across mapping heuristics, "
+      "heterogeneous system (30k level)",
+      taskdrop::fig7a_hetero_mappers);
+}

@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Fig. 7b — proactive task dropping across mapping heuristics, "
+      "homogeneous system (30k level)",
+      taskdrop::fig7b_homog_mappers);
+}

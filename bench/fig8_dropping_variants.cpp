@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Fig. 8 — PAM+Optimal vs PAM+Heuristic vs PAM+Threshold across "
+      "oversubscription levels (plus section V-F reactive-drop share)",
+      taskdrop::fig8_dropping_variants);
+}

@@ -1,0 +1,9 @@
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return taskdrop::benchmain::run_figure(
+      argc, argv,
+      "Fig. 9 — normalised incurred cost (cost / robustness) across "
+      "oversubscription levels",
+      taskdrop::fig9_cost);
+}

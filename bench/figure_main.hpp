@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iostream>
+
+#include "exp/figures.hpp"
+#include "util/flags.hpp"
+
+namespace taskdrop::benchmain {
+
+/// Shared driver for the per-figure bench binaries: parses --full /
+/// --trials / --divisor / --seed / --csv, runs the figure generator and
+/// prints the table.
+template <typename FigureFn>
+int run_figure(int argc, char** argv, const char* title, FigureFn figure) {
+  const Flags flags(argc, argv);
+  const FigureScale scale = FigureScale::from_flags(flags);
+  std::cout << title << '\n'
+            << "scale: divisor=" << scale.tasks_divisor
+            << " trials=" << scale.trials << " seed=" << scale.seed << "\n\n";
+  const Table table = figure(scale);
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace taskdrop::benchmain

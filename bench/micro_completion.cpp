@@ -1,0 +1,76 @@
+// Micro benchmarks for the completion-model cache: the cost of the common
+// mapping-event mutations (append one task; drop one mid-queue task) versus
+// recomputing a whole queue chain from scratch — the practical-cost
+// argument of section IV-F.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/sandbox.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace taskdrop;
+
+const Scenario& scenario() {
+  static const Scenario s = make_scenario(ScenarioKind::SpecHC, 42);
+  return s;
+}
+
+std::unique_ptr<SystemSandbox> make_queue(int depth) {
+  const Scenario& scn = scenario();
+  auto sandbox = std::make_unique<SystemSandbox>(
+      scn.pet, std::vector<MachineTypeId>{0}, depth + 2);
+  const double mean = scn.pet.mean_overall();
+  for (int i = 0; i < depth; ++i) {
+    sandbox->enqueue(0, static_cast<TaskTypeId>(i % scn.pet.task_type_count()),
+                     static_cast<Tick>(mean * (2.0 + i)));
+  }
+  return sandbox;
+}
+
+void BM_FullChainRecompute(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto sandbox = make_queue(depth);
+  for (auto _ : state) {
+    sandbox->model(0).invalidate_all();
+    benchmark::DoNotOptimize(sandbox->model(0).instantaneous_robustness());
+  }
+}
+BENCHMARK(BM_FullChainRecompute)->DenseRange(2, 8, 2);
+
+void BM_IncrementalAppend(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const Scenario& scn = scenario();
+  const auto deadline = static_cast<Tick>(scn.pet.mean_overall() * 12.0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sandbox = make_queue(depth);
+    // Warm the cache up to the current tail.
+    sandbox->model(0).instantaneous_robustness();
+    state.ResumeTiming();
+    // The measured mutation: append + query the new tail only.
+    sandbox->enqueue(0, 0, deadline);
+    benchmark::DoNotOptimize(
+        sandbox->model(0).chance(sandbox->machine(0).queue.size() - 1));
+  }
+}
+BENCHMARK(BM_IncrementalAppend)->DenseRange(2, 8, 2);
+
+void BM_ChanceIfAppended(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto sandbox = make_queue(depth);
+  const Scenario& scn = scenario();
+  const auto deadline = static_cast<Tick>(scn.pet.mean_overall() * 12.0);
+  sandbox->model(0).instantaneous_robustness();  // warm cache
+  for (auto _ : state) {
+    // PAM's phase-1 primitive: no PMF materialisation at all.
+    benchmark::DoNotOptimize(sandbox->model(0).chance_if_appended(0, deadline));
+  }
+}
+BENCHMARK(BM_ChanceIfAppended)->DenseRange(2, 8, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

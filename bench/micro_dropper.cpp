@@ -1,0 +1,72 @@
+// Micro benchmarks for section IV-F, factor (A): the per-mapping-event cost
+// of the dropping mechanisms as a function of machine-queue depth q. The
+// heuristic needs O(eta * q) convolutions while the optimal subset search
+// needs O(q * 2^(q-1)) — this bench makes the gap concrete.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/optimal_dropper.hpp"
+#include "core/proactive_heuristic_dropper.hpp"
+#include "core/sandbox.hpp"
+#include "core/threshold_dropper.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace taskdrop;
+
+const Scenario& scenario() {
+  static const Scenario s = make_scenario(ScenarioKind::SpecHC, 42);
+  return s;
+}
+
+/// Builds one machine whose queue holds `depth` tasks with deadlines tight
+/// enough that dropping decisions are non-trivial.
+std::unique_ptr<SystemSandbox> make_queue(int depth) {
+  const Scenario& scn = scenario();
+  auto sandbox = std::make_unique<SystemSandbox>(
+      scn.pet, std::vector<MachineTypeId>{0}, /*queue_capacity=*/depth + 1);
+  const double mean = scn.pet.mean_overall();
+  for (int i = 0; i < depth; ++i) {
+    const auto type = static_cast<TaskTypeId>(i % scn.pet.task_type_count());
+    const auto deadline =
+        static_cast<Tick>(mean * (1.0 + 0.4 * static_cast<double>(i)));
+    sandbox->enqueue(0, type, deadline);
+  }
+  return sandbox;
+}
+
+template <typename DropperT>
+void run_dropper_bench(benchmark::State& state, DropperT& dropper) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sandbox = make_queue(depth);
+    state.ResumeTiming();
+    dropper.run(sandbox->view(), *sandbox);
+    benchmark::DoNotOptimize(sandbox->dropped.size());
+  }
+}
+
+void BM_HeuristicDropper(benchmark::State& state) {
+  ProactiveHeuristicDropper dropper;
+  run_dropper_bench(state, dropper);
+}
+BENCHMARK(BM_HeuristicDropper)->DenseRange(2, 8);
+
+void BM_OptimalDropper(benchmark::State& state) {
+  OptimalDropper dropper;
+  run_dropper_bench(state, dropper);
+}
+BENCHMARK(BM_OptimalDropper)->DenseRange(2, 8);
+
+void BM_ThresholdDropper(benchmark::State& state) {
+  ThresholdDropper dropper;
+  run_dropper_bench(state, dropper);
+}
+BENCHMARK(BM_ThresholdDropper)->DenseRange(2, 8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// The paper's motivating application (sections I and V-H): live video
+// stream transcoding on a heterogeneous cloud. Four transcoding task types
+// (resolution / bit-rate / compression / packaging) run on four VM types;
+// frames that miss their deadline are worthless, so late tasks should be
+// dropped to preserve stream liveness.
+//
+// This example reproduces the Fig. 10 sweep — three mapping heuristics with
+// and without proactive dropping — and also prints the incurred cost, which
+// is where dropping pays twice (fewer wasted machine-hours).
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace taskdrop;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+
+  ExperimentConfig config;
+  config.scenario = ScenarioKind::Video;
+  config.workload.n_tasks = static_cast<int>(flags.get_int("tasks", 2000));
+  // Section V-H: "these video workload traces also have a lower arrival
+  // rate and the system is moderately oversubscribed."
+  config.workload.oversubscription = flags.get_double("oversub", 1.5);
+  config.trials = static_cast<int>(flags.get_int("trials", 8));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  const Scenario scenario = build_scenario(config);
+  std::cout << "Video transcoding scenario: "
+            << scenario.pet.task_type_count() << " task types, "
+            << scenario.machine_count() << " VMs ("
+            << scenario.pet.machine_type_count() << " types)\n\n";
+
+  Table table({"mapper", "dropping", "robustness (%)", "ci95",
+               "cost/robustness ($)"});
+  for (const char* mapper : {"MSD", "MM", "PAM"}) {
+    for (const bool heuristic : {true, false}) {
+      config.mapper = mapper;
+      config.dropper = heuristic ? DropperConfig::heuristic()
+                                 : DropperConfig::reactive_only();
+      const ExperimentResult result = run_experiment(config, &scenario);
+      table.row()
+          .cell(mapper)
+          .cell(heuristic ? "+Heuristic" : "+ReactDrop")
+          .cell(result.robustness.mean)
+          .cell(result.robustness.ci95)
+          .cell(result.normalized_cost.mean, 4);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nWith proactive dropping in place, all three mapping\n"
+               "heuristics converge to nearly the same robustness — the\n"
+               "dropper compensates for poor mapping decisions (section "
+               "V-H).\n";
+  return 0;
+}

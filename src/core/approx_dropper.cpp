@@ -1,0 +1,103 @@
+#include "core/approx_dropper.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "prob/convolution.hpp"
+
+namespace taskdrop {
+namespace {
+
+constexpr std::ptrdiff_t kNone = -1;
+
+/// Weighted utility of queue window [first, last] given the predecessor
+/// chain start: each position's chance of success (Eq. 2 over the Eq. 1
+/// chain) weighted 1.0 for full-quality tasks and `approx_weight` for
+/// approximate ones. `skipped_pos` simulates a provisional drop;
+/// `downgraded_pos` simulates a provisional downgrade.
+double weighted_window_utility(const Pmf& pred, const Machine& machine,
+                               const std::vector<Task>& tasks,
+                               const PetMatrix& pet,
+                               const PetMatrix* approx_pet,
+                               std::size_t first, std::size_t last,
+                               double approx_weight,
+                               std::ptrdiff_t skipped_pos,
+                               std::ptrdiff_t downgraded_pos) {
+  if (machine.queue.empty() || first >= machine.queue.size()) return 0.0;
+  last = std::min(last, machine.queue.size() - 1);
+  double utility = 0.0;
+  Pmf chain = pred;
+  for (std::size_t i = first; i <= last; ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == skipped_pos) continue;
+    const Task& task = tasks[static_cast<std::size_t>(machine.queue[i])];
+    const bool approx_mode =
+        task.approximate || static_cast<std::ptrdiff_t>(i) == downgraded_pos;
+    const Pmf& exec = approx_mode && approx_pet != nullptr
+                          ? approx_pet->pmf(task.type, machine.type)
+                          : pet.pmf(task.type, machine.type);
+    chain = deadline_convolve(chain, exec, task.deadline);
+    utility +=
+        (approx_mode ? approx_weight : 1.0) * chain.mass_before(task.deadline);
+  }
+  return utility;
+}
+
+}  // namespace
+
+void ApproxDropper::run(SystemView& view, SchedulerOps& ops) {
+  assert(params_.effective_depth >= 1);
+  assert(params_.beta >= 1.0);
+  const auto eta = static_cast<std::size_t>(params_.effective_depth);
+  const double weight = view.approx_pet != nullptr ? view.approx_weight : 1.0;
+  examined_versions_.resize(view.machines->size(), ~std::uint64_t{0});
+
+  for (Machine& machine : *view.machines) {
+    CompletionModel& model =
+        (*view.models)[static_cast<std::size_t>(machine.id)];
+    auto& examined = examined_versions_[static_cast<std::size_t>(machine.id)];
+    if (model.structure_version() == examined) continue;
+
+    std::size_t pos = machine.first_pending_pos();
+    while (pos < machine.queue.size()) {
+      const bool is_last = pos + 1 == machine.queue.size();
+      const std::size_t window_end =
+          std::min(pos + eta, machine.queue.size() - 1);
+      const Task& task =
+          (*view.tasks)[static_cast<std::size_t>(machine.queue[pos])];
+      const Pmf pred = model.predecessor(pos);
+
+      const double keep = weighted_window_utility(
+          pred, machine, *view.tasks, *view.pet, view.approx_pet, pos,
+          window_end, weight, kNone, kNone);
+      const double drop =
+          is_last ? -1.0
+                  : weighted_window_utility(
+                        pred, machine, *view.tasks, *view.pet, view.approx_pet,
+                        pos, window_end, weight,
+                        static_cast<std::ptrdiff_t>(pos), kNone);
+      const double downgrade =
+          task.approximate || view.approx_pet == nullptr
+              ? -1.0
+              : weighted_window_utility(
+                    pred, machine, *view.tasks, *view.pet, view.approx_pet,
+                    pos, window_end, weight, kNone,
+                    static_cast<std::ptrdiff_t>(pos));
+
+      const double best = std::max(drop, downgrade);
+      if (best > params_.beta * keep) {
+        if (drop >= downgrade) {
+          ops.drop_queued_task(machine.id, pos);
+          // Re-examine the task that shifted into this position.
+        } else {
+          ops.downgrade_task(machine.id, pos);
+          ++pos;  // the downgraded task was just optimised; move on
+        }
+      } else {
+        ++pos;
+      }
+    }
+    examined = model.structure_version();
+  }
+}
+
+}  // namespace taskdrop

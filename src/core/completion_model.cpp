@@ -1,0 +1,167 @@
+#include "core/completion_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "prob/convolution.hpp"
+
+namespace taskdrop {
+
+CompletionModel::CompletionModel(const PetMatrix* pet, const Machine* machine,
+                                 const std::vector<Task>* tasks,
+                                 Options options)
+    : pet_(pet), machine_(machine), tasks_(tasks), options_(options) {}
+
+void CompletionModel::set_now(Tick now) {
+  if (now == now_) return;
+  now_ = now;
+  if (options_.condition_running && machine_ != nullptr && machine_->running) {
+    // The conditioned running-task PMF depends on `now`.
+    invalidate_all();
+  }
+  // The unconditioned model only depends on `now` through the idle-machine
+  // base, and an idle machine has no cached positions to invalidate.
+}
+
+void CompletionModel::invalidate_from(std::size_t pos) {
+  valid_count_ = std::min(valid_count_, pos);
+  ++version_;
+}
+
+const Pmf& execution_pmf(const Task& task, MachineTypeId machine_type,
+                         const PetMatrix& pet, const PetMatrix* approx_pet) {
+  if (task.approximate && approx_pet != nullptr) {
+    return approx_pet->pmf(task.type, machine_type);
+  }
+  return pet.pmf(task.type, machine_type);
+}
+
+const Pmf& CompletionModel::exec_pmf(std::size_t pos) const {
+  const Task& task = (*tasks_)[static_cast<std::size_t>(machine_->queue[pos])];
+  return execution_pmf(task, machine_->type, *pet_, options_.approx_pet);
+}
+
+Pmf CompletionModel::running_completion() const {
+  assert(machine_->running);
+  const Task& task =
+      (*tasks_)[static_cast<std::size_t>(machine_->queue.front())];
+  const Pmf& exec =
+      execution_pmf(task, machine_->type, *pet_, options_.approx_pet);
+  Pmf completion = convolve(Pmf::delta(machine_->run_start), exec);
+  if (options_.condition_running) {
+    // Condition on "not finished yet": strip mass at or before now_ and
+    // renormalise. If every bin is at or before now_ the task is about to
+    // complete; keep the last bin as a degenerate point mass.
+    std::vector<std::pair<Tick, double>> kept;
+    for (std::size_t i = 0; i < completion.size(); ++i) {
+      if (completion.time_at(i) > now_ && completion.prob_at_index(i) > 0.0) {
+        kept.emplace_back(completion.time_at(i), completion.prob_at_index(i));
+      }
+    }
+    if (kept.empty()) return Pmf::delta(completion.max_time());
+    Pmf conditioned = Pmf::from_impulses(std::move(kept), completion.stride());
+    conditioned.normalize();
+    return conditioned;
+  }
+  return completion;
+}
+
+void CompletionModel::ensure(std::size_t pos) {
+  assert(machine_ != nullptr && "model not bound to a machine");
+  const std::size_t q = machine_->queue.size();
+  assert(pos < q);
+  if (completions_.size() < q) {
+    completions_.resize(q);
+    chances_.resize(q);
+  }
+  for (std::size_t i = valid_count_; i <= pos; ++i) {
+    const Task& task =
+        (*tasks_)[static_cast<std::size_t>(machine_->queue[i])];
+    if (i == 0) {
+      if (machine_->running) {
+        completions_[0] = running_completion();
+      } else {
+        completions_[0] = deadline_convolve(Pmf::delta(now_), exec_pmf(0),
+                                            task.deadline);
+      }
+    } else {
+      completions_[i] =
+          deadline_convolve(completions_[i - 1], exec_pmf(i), task.deadline);
+    }
+    chances_[i] = completions_[i].mass_before(task.deadline);
+  }
+  valid_count_ = std::max(valid_count_, pos + 1);
+}
+
+const Pmf& CompletionModel::completion(std::size_t pos) {
+  ensure(pos);
+  return completions_[pos];
+}
+
+double CompletionModel::chance(std::size_t pos) {
+  ensure(pos);
+  return chances_[pos];
+}
+
+Pmf CompletionModel::predecessor(std::size_t pos) {
+  if (pos == 0) {
+    assert(!machine_->running &&
+           "the running task has no droppable predecessor slot");
+    return Pmf::delta(now_);
+  }
+  return completion(pos - 1);
+}
+
+Pmf CompletionModel::tail() {
+  if (machine_->queue.empty()) return Pmf::delta(now_);
+  return completion(machine_->queue.size() - 1);
+}
+
+double CompletionModel::tail_mean() {
+  if (machine_->queue.empty()) return static_cast<double>(now_);
+  const std::size_t last = machine_->queue.size() - 1;
+  return completion(last).mean();
+}
+
+double CompletionModel::instantaneous_robustness() {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < machine_->queue.size(); ++i) sum += chance(i);
+  return sum;
+}
+
+double CompletionModel::chance_if_appended(TaskTypeId type, Tick deadline) {
+  const PmfCdf& exec_cdf = pet_->cdf(type, machine_->type);
+  if (machine_->queue.empty()) {
+    // The task would start immediately at now_.
+    return now_ < deadline ? exec_cdf.mass_before(deadline - now_) : 0.0;
+  }
+  const Pmf& pred = completion(machine_->queue.size() - 1);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const Tick k = pred.time_at(i);
+    if (k >= deadline) break;
+    const double p = pred.prob_at_index(i);
+    if (p == 0.0) continue;
+    sum += p * exec_cdf.mass_before(deadline - k);
+  }
+  return sum;
+}
+
+double window_chance_sum(const Pmf& pred, const Machine& machine,
+                         const std::vector<Task>& tasks, const PetMatrix& pet,
+                         std::size_t first, std::size_t last,
+                         const PetMatrix* approx_pet) {
+  if (machine.queue.empty() || first >= machine.queue.size()) return 0.0;
+  last = std::min(last, machine.queue.size() - 1);
+  double sum = 0.0;
+  Pmf chain = pred;
+  for (std::size_t i = first; i <= last; ++i) {
+    const Task& task = tasks[static_cast<std::size_t>(machine.queue[i])];
+    const Pmf& exec = execution_pmf(task, machine.type, pet, approx_pet);
+    chain = deadline_convolve(chain, exec, task.deadline);
+    sum += chain.mass_before(task.deadline);
+  }
+  return sum;
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pet/pet_matrix.hpp"
+#include "prob/pmf.hpp"
+#include "sim/machine.hpp"
+#include "sim/task.hpp"
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Per-machine stochastic completion-time model (Eqs. 1–3 of the paper).
+///
+/// For a machine queue [T_0, T_1, ..., T_{q-1}] (front = running task when
+/// the machine is busy), the completion-time PMF of position i is
+///
+///   c_0 = start-time delta (x) exec PMF            (running: no truncation —
+///                                                    the task already started)
+///   c_i = deadline_convolve(c_{i-1}, E_i, delta_i) (Eq. 1)
+///
+/// and the chance of success of position i is c_i's mass before delta_i
+/// (Eq. 2). PMFs are cached per position and recomputed lazily from the
+/// first position whose predecessor chain changed, which makes the common
+/// mapping-event mutation (append one task) a single convolution.
+///
+/// The model reads the machine's queue and the global task table at query
+/// time; the engine owns both and calls invalidate_* on every structural
+/// mutation (enqueue, drop, start, completion).
+class CompletionModel {
+ public:
+  struct Options {
+    /// When true, the running task's completion PMF is conditioned on the
+    /// fact that it has not finished yet (mass at or before `now` is
+    /// discarded and the rest renormalised). The paper uses the
+    /// unconditioned PMF; conditioning is this repo's extension, ablated in
+    /// bench/ablation_conditioning.
+    bool condition_running = false;
+    /// Approximate-computing extension: the time-scaled PET consulted for
+    /// tasks whose `approximate` flag is set. Null disables the extension.
+    const PetMatrix* approx_pet = nullptr;
+  };
+
+  CompletionModel() = default;
+  CompletionModel(const PetMatrix* pet, const Machine* machine,
+                  const std::vector<Task>* tasks, Options options);
+
+  /// Must be called whenever simulated time advances (the idle-machine base
+  /// PMF and the conditioned running PMF depend on `now`).
+  void set_now(Tick now);
+
+  /// Invalidates cached completion PMFs from queue position `pos` on.
+  void invalidate_from(std::size_t pos);
+  void invalidate_all() { invalidate_from(0); }
+
+  /// Monotone counter bumped by every invalidation. Chances of success only
+  /// change when the queue structure (or the conditioned base) changes, so
+  /// droppers use this to skip machines whose queues they already examined
+  /// in a previous mapping event.
+  std::uint64_t structure_version() const { return version_; }
+
+  /// Completion-time PMF of queue position `pos` (Eq. 1).
+  const Pmf& completion(std::size_t pos);
+
+  /// Chance of success of queue position `pos` (Eq. 2).
+  double chance(std::size_t pos);
+
+  /// Completion PMF of the predecessor of `pos`: c_{pos-1}, or the machine
+  /// base distribution (start-availability) for pos == 0.
+  Pmf predecessor(std::size_t pos);
+
+  /// Completion PMF of the last queued task — the distribution of when the
+  /// machine would start a newly appended task. delta(now) when idle-empty.
+  Pmf tail();
+
+  /// Mean of tail(), cached (hot in the mapping heuristics' phase 1).
+  double tail_mean();
+
+  /// Instantaneous robustness of this machine queue — Eq. 3: the sum of
+  /// chances of success over all queued tasks (running task included).
+  double instantaneous_robustness();
+
+  /// Chance of success a task of type `type` with deadline `deadline`
+  /// would have if appended to the current queue tail (used by PAM's
+  /// phase 1 and by the threshold dropper's deferral logic). Computed as
+  ///   sum_k tail(k) * P(E < deadline - k)   over k < deadline,
+  /// i.e. Eq. 2 applied to Eq. 1 without materialising the convolution.
+  double chance_if_appended(TaskTypeId type, Tick deadline);
+
+ private:
+  const Pmf& exec_pmf(std::size_t pos) const;
+  void ensure(std::size_t pos);
+  Pmf running_completion() const;
+
+  const PetMatrix* pet_ = nullptr;
+  const Machine* machine_ = nullptr;
+  const std::vector<Task>* tasks_ = nullptr;
+  Options options_;
+  Tick now_ = 0;
+
+  std::vector<Pmf> completions_;
+  std::vector<double> chances_;
+  std::size_t valid_count_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+/// Execution PMF of `task` on machine type `machine_type`, honouring the
+/// task's approximate flag when `approx_pet` is non-null.
+const Pmf& execution_pmf(const Task& task, MachineTypeId machine_type,
+                         const PetMatrix& pet, const PetMatrix* approx_pet);
+
+/// Sum of the chances of success of queue positions [first, last] when their
+/// predecessor chain starts from `pred` — the window quantity of Eqs. 4–7.
+/// Positions index `machine.queue`; `last` is clamped to the queue tail.
+/// This is the "what-if" primitive shared by the proactive heuristic
+/// (provisional drop of one task, Eq. 8) and the optimal subset search.
+double window_chance_sum(const Pmf& pred, const Machine& machine,
+                         const std::vector<Task>& tasks, const PetMatrix& pet,
+                         std::size_t first, std::size_t last,
+                         const PetMatrix* approx_pet = nullptr);
+
+}  // namespace taskdrop

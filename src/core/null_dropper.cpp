@@ -1,0 +1,7 @@
+#include "core/null_dropper.hpp"
+
+namespace taskdrop {
+
+void NullDropper::run(SystemView& /*view*/, SchedulerOps& /*ops*/) {}
+
+}  // namespace taskdrop

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "core/dropper.hpp"
+
+namespace taskdrop {
+
+/// No proactive dropping at all. With this dropper the system only performs
+/// the built-in *reactive* dropping (tasks that miss their deadline are
+/// discarded by the engine) — the "+ReactDrop" configurations of Figs. 7
+/// and 10.
+class NullDropper final : public Dropper {
+ public:
+  std::string_view name() const override { return "ReactDrop"; }
+  void run(SystemView& view, SchedulerOps& ops) override;
+};
+
+}  // namespace taskdrop

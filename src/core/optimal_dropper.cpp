@@ -1,0 +1,98 @@
+#include "core/optimal_dropper.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "prob/convolution.hpp"
+
+namespace taskdrop {
+namespace {
+
+/// Instantaneous robustness (Eq. 3) of one machine queue when the pending
+/// positions in `dropped_mask` (bit k = droppable position k) are removed.
+/// `droppable` maps mask bits to queue positions.
+double robustness_without(const Machine& machine, const std::vector<Task>& tasks,
+                          const PetMatrix& pet, const PetMatrix* approx_pet,
+                          CompletionModel& model,
+                          const std::vector<std::size_t>& droppable,
+                          unsigned mask) {
+  // Chain over the surviving queue, starting from the running task's
+  // completion (whose chance is unaffected by pending drops) or from the
+  // idle-machine base.
+  double sum = 0.0;
+  Pmf chain;
+  std::size_t start = machine.first_pending_pos();
+  if (machine.running) {
+    sum += model.chance(0);
+    chain = model.completion(0);
+  } else {
+    chain = model.predecessor(start);
+  }
+  std::size_t bit = 0;
+  for (std::size_t pos = start; pos < machine.queue.size(); ++pos) {
+    const bool dropped = bit < droppable.size() && droppable[bit] == pos &&
+                         ((mask >> bit) & 1u);
+    if (bit < droppable.size() && droppable[bit] == pos) ++bit;
+    if (dropped) continue;
+    const Task& task = tasks[static_cast<std::size_t>(machine.queue[pos])];
+    chain = deadline_convolve(
+        chain, execution_pmf(task, machine.type, pet, approx_pet),
+        task.deadline);
+    sum += chain.mass_before(task.deadline);
+  }
+  return sum;
+}
+
+}  // namespace
+
+void OptimalDropper::run(SystemView& view, SchedulerOps& ops) {
+  examined_versions_.resize(view.machines->size(), ~std::uint64_t{0});
+  for (Machine& machine : *view.machines) {
+    CompletionModel& model = (*view.models)[static_cast<std::size_t>(machine.id)];
+    auto& examined = examined_versions_[static_cast<std::size_t>(machine.id)];
+    if (model.structure_version() == examined) continue;
+    examined = model.structure_version();
+    // Droppable positions: pending tasks except the queue's last task.
+    std::vector<std::size_t> droppable;
+    for (std::size_t pos = machine.first_pending_pos();
+         pos + 1 < machine.queue.size(); ++pos) {
+      droppable.push_back(pos);
+    }
+    if (droppable.empty()) continue;
+    assert(droppable.size() < 8 * sizeof(unsigned));
+
+    unsigned best_mask = 0;
+    int best_popcount = 0;
+    double best_robustness =
+        robustness_without(machine, *view.tasks, *view.pet, view.approx_pet,
+                           model, droppable, 0u);
+    const unsigned subsets = 1u << droppable.size();
+    for (unsigned mask = 1; mask < subsets; ++mask) {
+      const double r =
+          robustness_without(machine, *view.tasks, *view.pet, view.approx_pet,
+                             model, droppable, mask);
+      const int popcount = __builtin_popcount(mask);
+      // Strictly better, or equal with fewer drops. A small epsilon keeps
+      // floating-point ties from flapping toward needless drops.
+      if (r > best_robustness + 1e-12 ||
+          (r > best_robustness - 1e-12 && popcount < best_popcount)) {
+        best_robustness = r;
+        best_mask = mask;
+        best_popcount = popcount;
+      }
+    }
+
+    if (best_mask == 0) continue;
+    // Apply drops back-to-front so earlier positions stay valid.
+    for (std::size_t bit = droppable.size(); bit-- > 0;) {
+      if ((best_mask >> bit) & 1u) {
+        ops.drop_queued_task(machine.id, droppable[bit]);
+      }
+    }
+    // The post-drop queue is the optimum we just computed; no need to
+    // re-examine it until something else mutates it.
+    examined = model.structure_version();
+  }
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/dropper.hpp"
+
+namespace taskdrop {
+
+/// Optimal proactive task dropping (section IV-D).
+///
+/// For each machine queue, exhaustively examines every subset of droppable
+/// pending tasks (the last task is excluded — its influence zone is null, so
+/// dropping it can only lose robustness) and keeps the subset that maximises
+/// the queue's instantaneous robustness (Eq. 3), i.e. the sum of chances of
+/// success of the tasks remaining in the queue. With queue size q this is
+/// the paper's 2^(q-1) case analysis; it is tractable here because machine
+/// queues are bounded (capacity 6 in the evaluation) but its per-event cost
+/// is what motivates the heuristic (section IV-F).
+///
+/// Ties are resolved toward dropping fewer tasks, and the empty subset is
+/// always a candidate, so the mechanism never drops without a strict
+/// robustness improvement.
+class OptimalDropper final : public Dropper {
+ public:
+  std::string_view name() const override { return "Optimal"; }
+  void run(SystemView& view, SchedulerOps& ops) override;
+
+ private:
+  /// Same skip-if-unchanged memoisation as the heuristic dropper: a queue
+  /// whose structure is unchanged would re-derive the identical subset.
+  std::vector<std::uint64_t> examined_versions_;
+};
+
+}  // namespace taskdrop

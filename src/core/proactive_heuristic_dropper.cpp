@@ -1,0 +1,50 @@
+#include "core/proactive_heuristic_dropper.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace taskdrop {
+
+void ProactiveHeuristicDropper::run(SystemView& view, SchedulerOps& ops) {
+  assert(params_.effective_depth >= 1);
+  assert(params_.beta >= 1.0);
+  const auto eta = static_cast<std::size_t>(params_.effective_depth);
+
+  examined_versions_.resize(view.machines->size(), ~std::uint64_t{0});
+
+  for (Machine& machine : *view.machines) {
+    CompletionModel& model = (*view.models)[static_cast<std::size_t>(machine.id)];
+    auto& examined = examined_versions_[static_cast<std::size_t>(machine.id)];
+    if (model.structure_version() == examined) continue;
+    // Single head-to-tail pass (section IV-E). Confirming a drop shifts the
+    // queue left, so the position index is *not* advanced after a drop: the
+    // next unexamined task slides into the current position.
+    std::size_t pos = machine.first_pending_pos();
+    while (pos + 1 < machine.queue.size()) {  // last task: null influence zone
+      const std::size_t window_end =
+          std::min(pos + eta, machine.queue.size() - 1);
+
+      // R_keep = sum_{n=i}^{i+eta} p_nj (right-hand side of Eq. 8).
+      double keep_sum = 0.0;
+      for (std::size_t n = pos; n <= window_end; ++n) keep_sum += model.chance(n);
+
+      // R_drop = sum_{n=i+1}^{i+eta} p^(i)_nj: the same window, excluding
+      // task i itself, with the chain re-rooted at i's predecessor
+      // (Eqs. 4–6).
+      const double drop_sum =
+          window_chance_sum(model.predecessor(pos), machine, *view.tasks,
+                            *view.pet, pos + 1, window_end, view.approx_pet);
+
+      if (drop_sum > params_.beta * keep_sum) {
+        ops.drop_queued_task(machine.id, pos);
+        // Re-examine the task that just shifted into `pos`.
+      } else {
+        ++pos;
+      }
+    }
+    // Record the post-pass version (drops above already bumped it).
+    examined = model.structure_version();
+  }
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,13 @@
+#include "core/robustness.hpp"
+
+namespace taskdrop {
+
+double system_instantaneous_robustness(SystemView& view) {
+  double sum = 0.0;
+  for (CompletionModel& model : *view.models) {
+    sum += model.instantaneous_robustness();
+  }
+  return sum;
+}
+
+}  // namespace taskdrop

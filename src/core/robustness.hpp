@@ -1,0 +1,14 @@
+#pragma once
+
+#include "core/context.hpp"
+
+namespace taskdrop {
+
+/// System-wide instantaneous robustness: the sum over machines of Eq. 3's
+/// per-queue robustness (sum of chances of success of all queued tasks).
+/// The paper's hypothesis (section IV-C) is that improving this quantity at
+/// each mapping event improves the end-to-end robustness metric (% of tasks
+/// completed on time).
+double system_instantaneous_robustness(SystemView& view);
+
+}  // namespace taskdrop

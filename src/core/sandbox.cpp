@@ -1,0 +1,127 @@
+#include "core/sandbox.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace taskdrop {
+namespace {
+/// Fixed upper bound on sandbox tasks so `tasks_` never reallocates (the
+/// completion models hold a pointer to it). Plenty for hand-built queues.
+constexpr std::size_t kMaxSandboxTasks = 4096;
+}  // namespace
+
+SystemSandbox::SystemSandbox(const PetMatrix& pet,
+                             std::vector<MachineTypeId> machine_types,
+                             int queue_capacity, Tick now,
+                             CompletionModel::Options model_options)
+    : pet_(pet), now_(now), model_options_(model_options) {
+  assert(!machine_types.empty());
+  tasks_.reserve(kMaxSandboxTasks);
+  machines_.reserve(machine_types.size());
+  models_.reserve(machine_types.size());
+  for (std::size_t m = 0; m < machine_types.size(); ++m) {
+    machines_.emplace_back(static_cast<MachineId>(m), machine_types[m],
+                           queue_capacity);
+  }
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    models_.emplace_back(&pet_, &machines_[m], &tasks_, model_options_);
+    models_[m].set_now(now_);
+  }
+  view_ = SystemView{now_,
+                     &pet_,
+                     model_options_.approx_pet,
+                     /*approx_weight=*/0.5,
+                     &tasks_,
+                     &machines_,
+                     &models_,
+                     &batch_};
+}
+
+TaskId SystemSandbox::add_unmapped(TaskTypeId type, Tick arrival,
+                                   Tick deadline) {
+  assert(tasks_.size() < kMaxSandboxTasks);
+  Task task;
+  task.id = static_cast<TaskId>(tasks_.size());
+  task.type = type;
+  task.arrival = arrival;
+  task.deadline = deadline;
+  tasks_.push_back(task);
+  batch_.push_back(task.id);
+  return task.id;
+}
+
+TaskId SystemSandbox::enqueue(MachineId machine_id, TaskTypeId type,
+                              Tick deadline, Tick arrival) {
+  assert(tasks_.size() < kMaxSandboxTasks);
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  Task task;
+  task.id = static_cast<TaskId>(tasks_.size());
+  task.type = type;
+  task.arrival = arrival;
+  task.deadline = deadline;
+  task.state = TaskState::Queued;
+  task.machine = machine_id;
+  tasks_.push_back(task);
+  machine.enqueue(task.id);
+  models_[static_cast<std::size_t>(machine_id)].invalidate_from(
+      machine.queue.size() - 1);
+  return task.id;
+}
+
+void SystemSandbox::set_running(MachineId machine_id, Tick run_start) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  assert(!machine.queue.empty());
+  Task& task = tasks_[static_cast<std::size_t>(machine.queue.front())];
+  task.state = TaskState::Running;
+  task.start_time = run_start;
+  machine.running = true;
+  machine.run_start = run_start;
+  models_[static_cast<std::size_t>(machine_id)].invalidate_all();
+}
+
+void SystemSandbox::set_now(Tick now) {
+  now_ = now;
+  view_.now = now;
+  for (CompletionModel& model : models_) model.set_now(now);
+}
+
+void SystemSandbox::assign_task(TaskId task_id, MachineId machine_id) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  Task& task = tasks_[static_cast<std::size_t>(task_id)];
+  assert(task.state == TaskState::Unmapped);
+  assert(machine.has_free_slot());
+  const auto it = std::find(batch_.begin(), batch_.end(), task_id);
+  assert(it != batch_.end());
+  batch_.erase(it);
+  task.state = TaskState::Queued;
+  task.machine = machine_id;
+  machine.enqueue(task_id);
+  models_[static_cast<std::size_t>(machine_id)].invalidate_from(
+      machine.queue.size() - 1);
+  assigned.emplace_back(task_id, machine_id);
+}
+
+void SystemSandbox::drop_queued_task(MachineId machine_id, std::size_t pos) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  assert(pos >= machine.first_pending_pos() && pos < machine.queue.size());
+  Task& task = tasks_[static_cast<std::size_t>(machine.queue[pos])];
+  assert(task.state == TaskState::Queued);
+  task.state = TaskState::DroppedProactive;
+  task.drop_time = now_;
+  machine.remove_at(pos);
+  models_[static_cast<std::size_t>(machine_id)].invalidate_from(pos);
+  dropped.push_back(task.id);
+}
+
+void SystemSandbox::downgrade_task(MachineId machine_id, std::size_t pos) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  assert(pos >= machine.first_pending_pos() && pos < machine.queue.size());
+  Task& task = tasks_[static_cast<std::size_t>(machine.queue[pos])];
+  assert(task.state == TaskState::Queued);
+  if (task.approximate) return;
+  task.approximate = true;
+  models_[static_cast<std::size_t>(machine_id)].invalidate_from(pos);
+  downgraded.push_back(task.id);
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace taskdrop {
+
+/// A minimal, engine-free system state for exercising droppers and mapping
+/// heuristics directly: build machine queues by hand, then call
+/// `dropper.run(sandbox.view(), sandbox)` and inspect what was dropped or
+/// assigned. Used by the unit tests, the micro benchmarks and the
+/// custom_heuristic example; also handy for debugging a new heuristic
+/// against a hand-crafted queue.
+///
+/// The sandbox implements SchedulerOps with the same invariants as the
+/// engine (state transitions, queue edits, completion-model invalidation)
+/// and additionally records every mutation in `dropped` / `assigned`.
+class SystemSandbox final : public SchedulerOps {
+ public:
+  SystemSandbox(const PetMatrix& pet, std::vector<MachineTypeId> machine_types,
+                int queue_capacity, Tick now = 0,
+                CompletionModel::Options model_options = {});
+
+  SystemSandbox(const SystemSandbox&) = delete;
+  SystemSandbox& operator=(const SystemSandbox&) = delete;
+
+  /// Adds a task to the batch queue (state Unmapped). Returns its id.
+  TaskId add_unmapped(TaskTypeId type, Tick arrival, Tick deadline);
+
+  /// Creates a task and places it directly at the tail of a machine queue
+  /// (state Queued). Returns its id.
+  TaskId enqueue(MachineId machine, TaskTypeId type, Tick deadline,
+                 Tick arrival = 0);
+
+  /// Marks the queue head of `machine` as running since `run_start`.
+  void set_running(MachineId machine, Tick run_start);
+
+  void set_now(Tick now);
+
+  SystemView& view() { return view_; }
+  Machine& machine(MachineId id) {
+    return machines_[static_cast<std::size_t>(id)];
+  }
+  CompletionModel& model(MachineId id) {
+    return models_[static_cast<std::size_t>(id)];
+  }
+  Task& task(TaskId id) { return tasks_[static_cast<std::size_t>(id)]; }
+
+  // SchedulerOps
+  void assign_task(TaskId task, MachineId machine) override;
+  void drop_queued_task(MachineId machine, std::size_t pos) override;
+  void downgrade_task(MachineId machine, std::size_t pos) override;
+
+  /// Mutation log, in call order.
+  std::vector<TaskId> dropped;
+  std::vector<TaskId> downgraded;
+  std::vector<std::pair<TaskId, MachineId>> assigned;
+
+ private:
+  const PetMatrix& pet_;
+  Tick now_ = 0;
+  std::vector<Task> tasks_;
+  std::vector<Machine> machines_;
+  std::vector<CompletionModel> models_;
+  std::vector<TaskId> batch_;
+  SystemView view_;
+  CompletionModel::Options model_options_;
+};
+
+}  // namespace taskdrop

@@ -1,0 +1,40 @@
+#include "core/threshold_dropper.hpp"
+
+#include <algorithm>
+
+namespace taskdrop {
+
+void ThresholdDropper::run(SystemView& view, SchedulerOps& ops) {
+  double effective = params_.base_threshold;
+  if (params_.adaptive) {
+    std::size_t queued = 0;
+    std::size_t slots = 0;
+    for (const Machine& machine : *view.machines) {
+      queued += machine.queue.size();
+      slots += static_cast<std::size_t>(machine.capacity);
+    }
+    const double fill =
+        slots == 0 ? 0.0
+                   : std::clamp(static_cast<double>(queued) /
+                                    static_cast<double>(slots),
+                                0.0, 1.0);
+    effective *= fill;
+  }
+  if (effective <= 0.0) return;
+
+  for (Machine& machine : *view.machines) {
+    CompletionModel& model = (*view.models)[static_cast<std::size_t>(machine.id)];
+    std::size_t pos = machine.first_pending_pos();
+    while (pos < machine.queue.size()) {
+      if (model.chance(pos) < effective) {
+        ops.drop_queued_task(machine.id, pos);
+        // Dropping improves the successors' chances; re-evaluate the task
+        // that shifted into this position before moving on.
+      } else {
+        ++pos;
+      }
+    }
+  }
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/dropper.hpp"
+
+namespace taskdrop {
+
+/// Threshold-based probabilistic task pruning — the PAM+Threshold baseline
+/// (Gentry et al. [2], Denninnart et al. [17]).
+///
+/// A pending task is dropped when its chance of success (Eq. 2) falls below
+/// a threshold. This is the family of mechanisms the paper argues against:
+/// the threshold is a user-supplied, workload-dependent parameter. Following
+/// [2], the configured base threshold is *adapted at each mapping event* by
+/// an oversubscription signal — here the fill fraction of the machine
+/// queues — so the mechanism backs off when the system is lightly loaded:
+///
+///     effective = base_threshold * clamp(queued / total_slots, 0, 1)
+///
+/// (The original implementation is not public; DESIGN.md's substitution
+/// table records why this stand-in preserves the comparison: it keeps both
+/// defining properties — user tuning and per-task chance thresholds with no
+/// influence-zone accounting.)
+class ThresholdDropper final : public Dropper {
+ public:
+  struct Params {
+    double base_threshold = 0.5;
+    /// When false, the base threshold is applied verbatim (the static
+    /// variant of earlier works, e.g. Khemka et al. [16]).
+    bool adaptive = true;
+  };
+
+  ThresholdDropper() : params_() {}
+  explicit ThresholdDropper(Params params) : params_(params) {}
+
+  std::string_view name() const override { return "Threshold"; }
+  const Params& params() const { return params_; }
+
+  void run(SystemView& view, SchedulerOps& ops) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace taskdrop

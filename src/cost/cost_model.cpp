@@ -1,0 +1,40 @@
+#include "cost/cost_model.hpp"
+
+#include <cassert>
+
+namespace taskdrop {
+namespace {
+constexpr double kTicksPerHour = 3600.0 * 1000.0;  // 1 tick = 1 ms
+}
+
+CostModel::CostModel(std::vector<double> rate_per_hour)
+    : rate_per_hour_(std::move(rate_per_hour)) {
+  assert(!rate_per_hour_.empty());
+}
+
+double CostModel::rate(MachineTypeId type) const {
+  assert(type >= 0 &&
+         static_cast<std::size_t>(type) < rate_per_hour_.size());
+  return rate_per_hour_[static_cast<std::size_t>(type)];
+}
+
+double CostModel::total_cost(const SimResult& result) const {
+  assert(result.busy_ticks.size() == result.machine_types.size());
+  double dollars = 0.0;
+  for (std::size_t m = 0; m < result.busy_ticks.size(); ++m) {
+    dollars += static_cast<double>(result.busy_ticks[m]) / kTicksPerHour *
+               rate(result.machine_types[m]);
+  }
+  return dollars;
+}
+
+double CostModel::cost_per_robustness(const SimResult& result,
+                                      int exclude_head,
+                                      int exclude_tail) const {
+  const double robustness =
+      result.robustness_pct(exclude_head, exclude_tail);
+  if (robustness <= 0.0) return 0.0;
+  return total_cost(result) / (robustness / 100.0);
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/sim_result.hpp"
+
+namespace taskdrop {
+
+/// AWS-style usage pricing (section V-G): each machine *type* has an hourly
+/// rate, and a machine incurs cost while it is executing tasks. Fig. 9's
+/// metric normalises the total incurred cost by the achieved robustness —
+/// "the price incurred to process the tasks is divided by the percentage of
+/// tasks completed on time".
+class CostModel {
+ public:
+  /// `rate_per_hour[t]` = $ per hour of machine type t.
+  explicit CostModel(std::vector<double> rate_per_hour);
+
+  double rate(MachineTypeId type) const;
+
+  /// Total dollars of executing time across all machines of a run.
+  double total_cost(const SimResult& result) const;
+
+  /// Fig. 9's normalised cost: total cost divided by the fraction of tasks
+  /// completed on time (robustness/100). Returns 0 when robustness is 0.
+  double cost_per_robustness(const SimResult& result, int exclude_head = 100,
+                             int exclude_tail = 100) const;
+
+ private:
+  std::vector<double> rate_per_hour_;
+};
+
+}  // namespace taskdrop

@@ -1,0 +1,408 @@
+#include "exp/figures.hpp"
+
+#include "exp/experiment.hpp"
+
+namespace taskdrop {
+namespace {
+
+/// Builds the shared base config for one figure cell.
+ExperimentConfig base_config(ScenarioKind scenario, const OversubLevel& level,
+                             const FigureScale& scale) {
+  ExperimentConfig config;
+  config.scenario = scenario;
+  config.workload.n_tasks = level.n_tasks;
+  config.workload.oversubscription = level.oversubscription;
+  config.trials = scale.trials;
+  config.seed = scale.seed;
+  return config;
+}
+
+/// Shared column layout for level-sweep tables: one (mean, ci) pair per
+/// oversubscription level.
+std::vector<std::string> level_headers(const std::string& first,
+                                       const std::vector<OversubLevel>& levels) {
+  std::vector<std::string> headers{first};
+  for (const auto& level : levels) {
+    headers.push_back(level.label + " robustness (%)");
+    headers.push_back(level.label + " ci95");
+  }
+  return headers;
+}
+
+}  // namespace
+
+FigureScale FigureScale::from_flags(const Flags& flags) {
+  FigureScale scale;
+  if (flags.get_bool("full")) {
+    scale.tasks_divisor = 1;
+    scale.trials = 30;
+  }
+  scale.tasks_divisor =
+      static_cast<int>(flags.get_int("divisor", scale.tasks_divisor));
+  scale.trials = static_cast<int>(flags.get_int("trials", scale.trials));
+  scale.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  return scale;
+}
+
+std::vector<OversubLevel> oversubscription_levels(const FigureScale& scale) {
+  const int div = scale.tasks_divisor;
+  // Oversubscription multiples calibrated so the three levels land in the
+  // paper's robustness bands (~47 % / ~37-46 % / ~30 % under PAM+Heuristic,
+  // Figs. 5 and 8) — see EXPERIMENTS.md.
+  return {
+      {"20k", 20000 / div, 2.5},
+      {"30k", 30000 / div, 3.0},
+      {"40k", 40000 / div, 3.5},
+  };
+}
+
+Table fig5_effective_depth(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  Table table(level_headers("eta", levels));
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
+  const Scenario scenario = build_scenario(probe);
+  for (int eta = 1; eta <= 5; ++eta) {
+    table.row().cell(static_cast<long long>(eta));
+    for (const auto& level : levels) {
+      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+      config.mapper = "PAM";
+      config.dropper = DropperConfig::heuristic(eta, 1.0);
+      const ExperimentResult result = run_experiment(config, &scenario);
+      table.cell(result.robustness.mean).cell(result.robustness.ci95);
+    }
+  }
+  return table;
+}
+
+Table fig6_beta(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  Table table(level_headers("beta", levels));
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
+  const Scenario scenario = build_scenario(probe);
+  for (double beta = 1.0; beta <= 4.0 + 1e-9; beta += 0.5) {
+    table.row().cell(beta, 1);
+    for (const auto& level : levels) {
+      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+      config.mapper = "PAM";
+      config.dropper = DropperConfig::heuristic(2, beta);
+      const ExperimentResult result = run_experiment(config, &scenario);
+      table.cell(result.robustness.mean).cell(result.robustness.ci95);
+    }
+  }
+  return table;
+}
+
+namespace {
+
+/// Shared body of Figs. 7a, 7b and 10: a mapper sweep with and without the
+/// proactive dropping heuristic, on one scenario and level.
+Table mapper_sweep(ScenarioKind kind, const std::vector<std::string>& mappers,
+                   const OversubLevel& level, const FigureScale& scale) {
+  Table table({"mapper", "dropping", "robustness (%)", "ci95"});
+  ExperimentConfig probe = base_config(kind, level, scale);
+  const Scenario scenario = build_scenario(probe);
+  for (const std::string& mapper : mappers) {
+    for (const bool heuristic : {true, false}) {
+      ExperimentConfig config = base_config(kind, level, scale);
+      config.mapper = mapper;
+      config.dropper = heuristic ? DropperConfig::heuristic()
+                                 : DropperConfig::reactive_only();
+      const ExperimentResult result = run_experiment(config, &scenario);
+      table.row()
+          .cell(mapper)
+          .cell(heuristic ? "+Heuristic" : "+ReactDrop")
+          .cell(result.robustness.mean)
+          .cell(result.robustness.ci95);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+Table fig7a_hetero_mappers(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  return mapper_sweep(ScenarioKind::SpecHC, {"MSD", "MM", "PAM"}, levels[1],
+                      scale);
+}
+
+Table fig7b_homog_mappers(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  return mapper_sweep(ScenarioKind::Homogeneous, {"FCFS", "EDF", "SJF", "PAM"},
+                      levels[1], scale);
+}
+
+Table fig8_dropping_variants(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  Table table({"level", "variant", "robustness (%)", "ci95",
+               "reactive share of drops (%)"});
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
+  const Scenario scenario = build_scenario(probe);
+  struct Variant {
+    std::string label;
+    DropperConfig dropper;
+  };
+  const std::vector<Variant> variants = {
+      {"PAM+Optimal", DropperConfig::optimal()},
+      {"PAM+Heuristic", DropperConfig::heuristic()},
+      {"PAM+Threshold", DropperConfig::threshold()},
+  };
+  for (const auto& level : levels) {
+    for (const auto& variant : variants) {
+      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+      config.mapper = "PAM";
+      config.dropper = variant.dropper;
+      const ExperimentResult result = run_experiment(config, &scenario);
+      table.row()
+          .cell(level.label)
+          .cell(variant.label)
+          .cell(result.robustness.mean)
+          .cell(result.robustness.ci95)
+          .cell(result.reactive_share.mean);
+    }
+  }
+  return table;
+}
+
+Table fig9_cost(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  Table table({"level", "variant", "cost / robustness ($)", "ci95"});
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
+  const Scenario scenario = build_scenario(probe);
+  struct Variant {
+    std::string label;
+    std::string mapper;
+    DropperConfig dropper;
+  };
+  const std::vector<Variant> variants = {
+      {"PAM+Threshold", "PAM", DropperConfig::threshold()},
+      {"PAM+Heuristic", "PAM", DropperConfig::heuristic()},
+      {"MM+ReactDrop", "MM", DropperConfig::reactive_only()},
+  };
+  for (const auto& level : levels) {
+    for (const auto& variant : variants) {
+      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+      config.mapper = variant.mapper;
+      config.dropper = variant.dropper;
+      const ExperimentResult result = run_experiment(config, &scenario);
+      table.row()
+          .cell(level.label)
+          .cell(variant.label)
+          .cell(result.normalized_cost.mean, 4)
+          .cell(result.normalized_cost.ci95, 4);
+    }
+  }
+  return table;
+}
+
+Table fig10_video(const FigureScale& scale) {
+  // Section V-H: lower arrival rate, moderately oversubscribed system.
+  const OversubLevel level{"20k", 20000 / scale.tasks_divisor, 1.5};
+  return mapper_sweep(ScenarioKind::Video, {"MSD", "MM", "PAM"}, level, scale);
+}
+
+Table ablation_engagement(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  Table table({"level", "engagement", "robustness (%)", "ci95",
+               "dropper invocations / trial"});
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
+  const Scenario scenario = build_scenario(probe);
+  struct Policy {
+    std::string label;
+    DropperEngagement engagement;
+  };
+  const std::vector<Policy> policies = {
+      {"every-event (Fig. 4)", DropperEngagement::EveryMappingEvent},
+      {"on-deadline-miss (V-A)", DropperEngagement::OnDeadlineMiss},
+  };
+  for (const auto& level : levels) {
+    for (const auto& policy : policies) {
+      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+      config.mapper = "PAM";
+      config.dropper = DropperConfig::heuristic();
+      config.engagement = policy.engagement;
+      const ExperimentResult result = run_experiment(config, &scenario);
+      double invocations = 0.0;
+      for (const TrialMetrics& trial : result.trials) {
+        invocations += static_cast<double>(trial.dropper_invocations);
+      }
+      invocations /= static_cast<double>(result.trials.size());
+      table.row()
+          .cell(level.label)
+          .cell(policy.label)
+          .cell(result.robustness.mean)
+          .cell(result.robustness.ci95)
+          .cell(invocations, 0);
+    }
+  }
+  return table;
+}
+
+Table ablation_conditioning(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  Table table({"level", "running-task model", "robustness (%)", "ci95"});
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
+  const Scenario scenario = build_scenario(probe);
+  for (const auto& level : levels) {
+    for (const bool conditioned : {false, true}) {
+      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+      config.mapper = "PAM";
+      config.dropper = DropperConfig::heuristic();
+      config.condition_running = conditioned;
+      const ExperimentResult result = run_experiment(config, &scenario);
+      table.row()
+          .cell(level.label)
+          .cell(conditioned ? "conditioned" : "unconditioned (paper)")
+          .cell(result.robustness.mean)
+          .cell(result.robustness.ci95);
+    }
+  }
+  return table;
+}
+
+Table ablation_failures(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  const OversubLevel& level = levels[1];  // 30k
+  Table table({"MTBF (ticks)", "dropping", "robustness (%)", "ci95",
+               "lost to failure / trial"});
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, level, scale);
+  const Scenario scenario = build_scenario(probe);
+  // Infinity (failures off), then increasingly failure-prone machines.
+  const std::vector<double> mtbfs = {0.0, 120000.0, 60000.0, 30000.0, 15000.0};
+  for (const double mtbf : mtbfs) {
+    for (const bool heuristic : {false, true}) {
+      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+      config.mapper = "PAM";
+      config.dropper = heuristic ? DropperConfig::heuristic()
+                                 : DropperConfig::reactive_only();
+      if (mtbf > 0.0) {
+        config.failures.enabled = true;
+        config.failures.mean_time_between_failures = mtbf;
+        config.failures.mean_time_to_repair = 3000.0;
+      }
+      const ExperimentResult result = run_experiment(config, &scenario);
+      double lost = 0.0;
+      for (const TrialMetrics& trial : result.trials) {
+        lost += static_cast<double>(trial.lost_to_failure);
+      }
+      lost /= static_cast<double>(result.trials.size());
+      table.row()
+          .cell(mtbf > 0.0 ? format_fixed(mtbf, 0) : "no failures")
+          .cell(heuristic ? "+Heuristic" : "+ReactDrop")
+          .cell(result.robustness.mean)
+          .cell(result.robustness.ci95)
+          .cell(lost, 1);
+    }
+  }
+  return table;
+}
+
+Table ablation_approx(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  Table table({"level", "mechanism", "robustness (%)", "utility (%)",
+               "approx completions / trial"});
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
+  const Scenario scenario = build_scenario(probe);
+  struct Mechanism {
+    std::string label;
+    DropperConfig dropper;
+  };
+  const std::vector<Mechanism> mechanisms = {
+      {"ReactDrop", DropperConfig::reactive_only()},
+      {"Heuristic (drop)", DropperConfig::heuristic()},
+      {"Approx (drop/downgrade)", DropperConfig::approximate()},
+  };
+  for (const auto& level : levels) {
+    for (const auto& mechanism : mechanisms) {
+      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+      config.mapper = "PAM";
+      config.dropper = mechanism.dropper;
+      const ExperimentResult result = run_experiment(config, &scenario);
+      double approx = 0.0;
+      for (const TrialMetrics& trial : result.trials) {
+        approx += static_cast<double>(trial.approx_on_time);
+      }
+      approx /= static_cast<double>(result.trials.size());
+      table.row()
+          .cell(level.label)
+          .cell(mechanism.label)
+          .cell(result.robustness.mean)
+          .cell(result.utility.mean)
+          .cell(approx, 1);
+    }
+  }
+  return table;
+}
+
+Table ablation_deferral(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  const OversubLevel& level = levels[1];
+  Table table({"mapper", "dropping", "robustness (%)", "ci95"});
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, level, scale);
+  const Scenario scenario = build_scenario(probe);
+  for (const std::string mapper : {"PAM", "PAMD"}) {
+    for (const bool heuristic : {false, true}) {
+      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+      config.mapper = mapper;
+      config.dropper = heuristic ? DropperConfig::heuristic()
+                                 : DropperConfig::reactive_only();
+      const ExperimentResult result = run_experiment(config, &scenario);
+      table.row()
+          .cell(mapper)
+          .cell(heuristic ? "+Heuristic" : "+ReactDrop")
+          .cell(result.robustness.mean)
+          .cell(result.robustness.ci95);
+    }
+  }
+  return table;
+}
+
+Table ablation_gamma(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  const OversubLevel& level = levels[1];
+  Table table({"gamma", "ReactDrop robustness (%)", "Heuristic robustness (%)",
+               "gain (pp)"});
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, level, scale);
+  const Scenario scenario = build_scenario(probe);
+  for (const double gamma : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+    config.mapper = "PAM";
+    config.workload.gamma = gamma;
+    config.dropper = DropperConfig::reactive_only();
+    const ExperimentResult reactive = run_experiment(config, &scenario);
+    config.dropper = DropperConfig::heuristic();
+    const ExperimentResult proactive = run_experiment(config, &scenario);
+    table.row()
+        .cell(gamma, 1)
+        .cell(reactive.robustness.mean)
+        .cell(proactive.robustness.mean)
+        .cell(proactive.robustness.mean - reactive.robustness.mean);
+  }
+  return table;
+}
+
+Table ablation_queue_capacity(const FigureScale& scale) {
+  const auto levels = oversubscription_levels(scale);
+  const OversubLevel& level = levels[1];
+  Table table({"queue capacity", "ReactDrop robustness (%)",
+               "Heuristic robustness (%)", "gain (pp)"});
+  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, level, scale);
+  const Scenario scenario = build_scenario(probe);
+  for (const int capacity : {2, 4, 6, 8, 12}) {
+    ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
+    config.mapper = "PAM";
+    config.queue_capacity = capacity;
+    config.dropper = DropperConfig::reactive_only();
+    const ExperimentResult reactive = run_experiment(config, &scenario);
+    config.dropper = DropperConfig::heuristic();
+    const ExperimentResult proactive = run_experiment(config, &scenario);
+    table.row()
+        .cell(static_cast<long long>(capacity))
+        .cell(reactive.robustness.mean)
+        .cell(proactive.robustness.mean)
+        .cell(proactive.robustness.mean - reactive.robustness.mean);
+  }
+  return table;
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace taskdrop {
+
+/// Scale of a figure regeneration run. The paper uses 30 trials of
+/// 20k/30k/40k tasks; the default here divides task counts by 10 and uses
+/// 8 trials so every bench binary finishes in about a minute, preserving
+/// the oversubscription ratios that drive all reported effects (DESIGN.md
+/// section 6). `--full` (or REPRO_FULL=1) restores paper scale; `--trials`
+/// and `--divisor` override individually.
+struct FigureScale {
+  int tasks_divisor = 10;
+  int trials = 8;
+  std::uint64_t seed = 42;
+
+  static FigureScale from_flags(const Flags& flags);
+};
+
+/// One oversubscription level of the evaluation (section V-A).
+struct OversubLevel {
+  std::string label;       ///< "20k" / "30k" / "40k" (paper-scale naming)
+  int n_tasks;             ///< actual task count after scaling
+  double oversubscription; ///< arrival rate / service capacity
+};
+
+/// The paper's three levels, scaled.
+std::vector<OversubLevel> oversubscription_levels(const FigureScale& scale);
+
+// --- Figure regenerators (section V). Each returns the paper's series as a
+// table of robustness (or cost) mean +/- 95 % CI over trials.
+
+/// Fig. 5: effective depth eta in {1..5} x three levels, PAM + Heuristic.
+Table fig5_effective_depth(const FigureScale& scale);
+
+/// Fig. 6: robustness improvement factor beta in {1.0..4.0 step 0.5} x
+/// three levels, PAM + Heuristic.
+Table fig6_beta(const FigureScale& scale);
+
+/// Fig. 7a: {MSD, MM, PAM} x {+Heuristic, +ReactDrop} on the heterogeneous
+/// system at the 30k level.
+Table fig7a_hetero_mappers(const FigureScale& scale);
+
+/// Fig. 7b: {FCFS, EDF, SJF, PAM} x {+Heuristic, +ReactDrop} on the
+/// homogeneous system at the 30k level.
+Table fig7b_homog_mappers(const FigureScale& scale);
+
+/// Fig. 8: {PAM+Optimal, PAM+Heuristic, PAM+Threshold} x three levels,
+/// plus section V-F's reactive-drop share for PAM+Heuristic.
+Table fig8_dropping_variants(const FigureScale& scale);
+
+/// Fig. 9: normalised incurred cost for {PAM+Threshold, PAM+Heuristic,
+/// MM+ReactDrop} x three levels.
+Table fig9_cost(const FigureScale& scale);
+
+/// Fig. 10: video-transcoding validation — {MSD, MM, PAM} x {+Heuristic,
+/// +ReactDrop} at a moderate oversubscription level.
+Table fig10_video(const FigureScale& scale);
+
+// --- Ablations beyond the paper (DESIGN.md experiment index A2 et al.).
+
+/// Dropper engagement policy: on-deadline-miss (section V-A) vs every
+/// mapping event (Fig. 4), PAM + Heuristic across levels.
+Table ablation_engagement(const FigureScale& scale);
+
+/// Conditioning the running task's completion PMF on "not finished yet"
+/// (repo extension) vs the paper's unconditioned model.
+Table ablation_conditioning(const FigureScale& scale);
+
+/// Failure-injection extension (section VI future work): robustness under
+/// increasing machine-failure rates, with reactive-only vs the proactive
+/// heuristic. Shows that dropping keeps helping when machines also fail.
+Table ablation_failures(const FigureScale& scale);
+
+/// Approximate-computing extension (section VI future work):
+/// {ReactDrop, Heuristic (drop only), Approx (drop or downgrade)} across
+/// levels, reporting both robustness and weighted utility.
+Table ablation_approx(const FigureScale& scale);
+
+/// PAM's original batch-queue deferring (disabled in the paper's
+/// comparison): PAM vs PAMD, each with and without the heuristic dropper.
+Table ablation_deferral(const FigureScale& scale);
+
+/// Sensitivity of the headline comparison to the deadline-slack
+/// coefficient gamma (the one free calibration parameter — see
+/// EXPERIMENTS.md).
+Table ablation_gamma(const FigureScale& scale);
+
+/// Sensitivity to machine-queue capacity (the paper fixes six, including
+/// the running task).
+Table ablation_queue_capacity(const FigureScale& scale);
+
+}  // namespace taskdrop

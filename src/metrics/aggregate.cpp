@@ -1,0 +1,45 @@
+#include "metrics/aggregate.hpp"
+
+#include "util/stats.hpp"
+
+namespace taskdrop {
+
+TrialMetrics compute_trial_metrics(const SimResult& result,
+                                   const CostModel& cost_model,
+                                   int exclude_head, int exclude_tail,
+                                   double approx_weight) {
+  TrialMetrics metrics;
+  metrics.robustness_pct = result.robustness_pct(exclude_head, exclude_tail);
+  metrics.utility_pct =
+      result.utility_pct(approx_weight, exclude_head, exclude_tail);
+  metrics.total_cost = cost_model.total_cost(result);
+  metrics.normalized_cost =
+      cost_model.cost_per_robustness(result, exclude_head, exclude_tail);
+  metrics.reactive_drop_share_pct =
+      result.reactive_drop_share_pct(exclude_head, exclude_tail);
+  const SimCounts counts = result.counts_in_window(exclude_head, exclude_tail);
+  metrics.completed_on_time = counts.completed_on_time;
+  metrics.completed_late = counts.completed_late;
+  metrics.dropped_reactive_queued = counts.dropped_reactive_queued;
+  metrics.expired_unmapped = counts.expired_unmapped;
+  metrics.lost_to_failure = counts.lost_to_failure;
+  metrics.approx_on_time = counts.approx_on_time;
+  metrics.dropped_proactive = counts.dropped_proactive;
+  metrics.mapping_events = result.mapping_events;
+  metrics.dropper_invocations = result.dropper_invocations;
+  return metrics;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  return Summary{mean(values), ci95_halfwidth(values)};
+}
+
+std::vector<double> series(const std::vector<TrialMetrics>& trials,
+                           double TrialMetrics::* field) {
+  std::vector<double> out;
+  out.reserve(trials.size());
+  for (const TrialMetrics& t : trials) out.push_back(t.*field);
+  return out;
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "sim/sim_result.hpp"
+
+namespace taskdrop {
+
+/// Metrics extracted from one simulation trial, after warm-up/cool-down
+/// exclusion.
+struct TrialMetrics {
+  double robustness_pct = 0.0;
+  /// Approx-weighted robustness; equals robustness_pct when no task ran in
+  /// approximate mode.
+  double utility_pct = 0.0;
+  double total_cost = 0.0;
+  double normalized_cost = 0.0;  ///< Fig. 9's cost / robustness fraction
+  double reactive_drop_share_pct = 0.0;
+  long long completed_on_time = 0;
+  long long completed_late = 0;
+  long long dropped_reactive_queued = 0;
+  long long dropped_proactive = 0;
+  long long expired_unmapped = 0;
+  long long lost_to_failure = 0;
+  long long approx_on_time = 0;
+  long long mapping_events = 0;
+  long long dropper_invocations = 0;
+};
+
+TrialMetrics compute_trial_metrics(const SimResult& result,
+                                   const CostModel& cost_model,
+                                   int exclude_head = 100,
+                                   int exclude_tail = 100,
+                                   double approx_weight = 0.5);
+
+/// Mean and 95 % confidence half-width of a per-trial series — the paper's
+/// reporting convention (section V-A).
+struct Summary {
+  double mean = 0.0;
+  double ci95 = 0.0;
+};
+
+Summary summarize(const std::vector<double>& values);
+
+/// Extracts one field across trials, e.g.
+/// `series(trials, &TrialMetrics::robustness_pct)`.
+std::vector<double> series(const std::vector<TrialMetrics>& trials,
+                           double TrialMetrics::* field);
+
+}  // namespace taskdrop

@@ -1,0 +1,16 @@
+#include "metrics/report.hpp"
+
+namespace taskdrop {
+
+std::string format_summary(const Summary& summary, int precision) {
+  return format_fixed(summary.mean, precision) + " +/- " +
+         format_fixed(summary.ci95, precision);
+}
+
+void add_summary_row(Table& table, const std::string& label,
+                     const Summary& summary, int precision) {
+  table.row().cell(label).cell(summary.mean, precision).cell(summary.ci95,
+                                                             precision);
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "metrics/aggregate.hpp"
+#include "util/table.hpp"
+
+namespace taskdrop {
+
+/// Formats a Summary as "mean ± ci" with the given precision.
+std::string format_summary(const Summary& summary, int precision = 2);
+
+/// Appends a labelled summary row (label, mean, ci) to a table that was
+/// created with matching headers.
+void add_summary_row(Table& table, const std::string& label,
+                     const Summary& summary, int precision = 2);
+
+}  // namespace taskdrop

@@ -1,0 +1,55 @@
+#include "pet/pet_builder.hpp"
+
+#include <cassert>
+
+#include "prob/histogram.hpp"
+
+namespace taskdrop {
+
+Pmf gamma_execution_pmf(Rng& rng, double mean_ms, double scale, int samples,
+                        Tick bin_width) {
+  assert(mean_ms > 0.0 && scale > 0.0 && samples > 0);
+  const double shape = mean_ms / scale;
+  std::vector<double> draws;
+  draws.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    draws.push_back(rng.gamma(shape, scale));
+  }
+  return pmf_from_samples(draws, bin_width);
+}
+
+PetMatrix build_pet_from_means(const std::vector<std::vector<double>>& means,
+                               Rng& rng, const PetBuildOptions& options) {
+  assert(!means.empty() && !means.front().empty());
+  const int task_types = static_cast<int>(means.size());
+  const int machine_types = static_cast<int>(means.front().size());
+  PetMatrix pet(task_types, machine_types);
+  for (TaskTypeId t = 0; t < task_types; ++t) {
+    assert(static_cast<int>(means[t].size()) == machine_types &&
+           "mean matrix must be rectangular");
+    for (MachineTypeId m = 0; m < machine_types; ++m) {
+      const double scale = rng.uniform(options.scale_min, options.scale_max);
+      pet.set(t, m,
+              gamma_execution_pmf(rng, means[static_cast<std::size_t>(t)]
+                                           [static_cast<std::size_t>(m)],
+                                  scale, options.samples_per_cell,
+                                  options.bin_width));
+    }
+  }
+  pet.freeze();
+  return pet;
+}
+
+PetMatrix scaled_pet(const PetMatrix& source, double time_factor) {
+  assert(time_factor > 0.0);
+  PetMatrix scaled(source.task_type_count(), source.machine_type_count());
+  for (TaskTypeId t = 0; t < source.task_type_count(); ++t) {
+    for (MachineTypeId m = 0; m < source.machine_type_count(); ++m) {
+      scaled.set(t, m, source.pmf(t, m).scale_time(time_factor));
+    }
+  }
+  scaled.freeze();
+  return scaled;
+}
+
+}  // namespace taskdrop

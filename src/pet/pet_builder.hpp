@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "pet/pet_matrix.hpp"
+#include "prob/pmf.hpp"
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Options reproducing the PET estimation recipe of section V-A: "Gamma
+/// distribution was used to generate the distributions ... We sampled 500
+/// execution times for each application on each machine where the scale
+/// parameter of each Gamma distribution was chosen uniformly from the range
+/// [1, 20]. Once the sample execution times were generated, we applied a
+/// histogram to discretize the result and produce PMFs."
+struct PetBuildOptions {
+  int samples_per_cell = 500;
+  Tick bin_width = 5;
+  double scale_min = 1.0;
+  double scale_max = 20.0;
+};
+
+/// Samples a unimodal Gamma execution-time distribution with the given mean
+/// and scale (shape = mean / scale) and discretizes it into a PMF.
+Pmf gamma_execution_pmf(Rng& rng, double mean_ms, double scale, int samples,
+                        Tick bin_width);
+
+/// Builds a frozen PET matrix from a [task_type][machine_type] matrix of
+/// mean execution times (ms). Each cell draws its own Gamma scale parameter
+/// uniformly from [scale_min, scale_max], per the paper's recipe.
+PetMatrix build_pet_from_means(const std::vector<std::vector<double>>& means,
+                               Rng& rng, const PetBuildOptions& options = {});
+
+/// Approximate-computing extension: a PET whose every cell is the source
+/// cell time-scaled by `time_factor` (< 1 = the degraded-quality variant
+/// runs faster). Used for both scheduling (completion models of approximate
+/// tasks) and ground-truth sampling.
+PetMatrix scaled_pet(const PetMatrix& source, double time_factor);
+
+}  // namespace taskdrop

@@ -1,0 +1,79 @@
+#include "pet/pet_matrix.hpp"
+
+#include <cassert>
+
+namespace taskdrop {
+
+PetMatrix::PetMatrix(int task_types, int machine_types)
+    : task_types_(task_types),
+      machine_types_(machine_types),
+      cells_(static_cast<std::size_t>(task_types) * machine_types),
+      present_(cells_.size(), false) {
+  assert(task_types > 0 && machine_types > 0);
+}
+
+std::size_t PetMatrix::index(TaskTypeId task, MachineTypeId machine) const {
+  assert(task >= 0 && task < task_types_);
+  assert(machine >= 0 && machine < machine_types_);
+  return static_cast<std::size_t>(task) * machine_types_ + machine;
+}
+
+void PetMatrix::set(TaskTypeId task, MachineTypeId machine, Pmf pmf) {
+  assert(!frozen_ && "PET matrix is immutable after freeze()");
+  assert(!pmf.empty());
+  const std::size_t i = index(task, machine);
+  cells_[i] = std::move(pmf);
+  present_[i] = true;
+}
+
+void PetMatrix::freeze() {
+  assert(!frozen_);
+  means_.resize(cells_.size());
+  samplers_.resize(cells_.size());
+  cdfs_.resize(cells_.size());
+  task_means_.assign(static_cast<std::size_t>(task_types_), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    assert(present_[i] && "every PET cell must be set before freeze()");
+    means_[i] = cells_[i].mean();
+    samplers_[i] = CdfSampler(cells_[i]);
+    cdfs_[i] = PmfCdf(cells_[i]);
+    task_means_[i / machine_types_] += means_[i];
+    total += means_[i];
+  }
+  for (double& m : task_means_) m /= static_cast<double>(machine_types_);
+  grand_mean_ = total / static_cast<double>(cells_.size());
+  frozen_ = true;
+}
+
+const Pmf& PetMatrix::pmf(TaskTypeId task, MachineTypeId machine) const {
+  return cells_[index(task, machine)];
+}
+
+double PetMatrix::mean_execution(TaskTypeId task, MachineTypeId machine) const {
+  assert(frozen_);
+  return means_[index(task, machine)];
+}
+
+double PetMatrix::mean_over_machines(TaskTypeId task) const {
+  assert(frozen_);
+  return task_means_[static_cast<std::size_t>(task)];
+}
+
+double PetMatrix::mean_overall() const {
+  assert(frozen_);
+  return grand_mean_;
+}
+
+const CdfSampler& PetMatrix::sampler(TaskTypeId task,
+                                     MachineTypeId machine) const {
+  assert(frozen_);
+  return samplers_[index(task, machine)];
+}
+
+const PmfCdf& PetMatrix::cdf(TaskTypeId task, MachineTypeId machine) const {
+  assert(frozen_);
+  return cdfs_[index(task, machine)];
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "prob/pmf.hpp"
+#include "prob/sampler.hpp"
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Probabilistic Execution Time (PET) matrix.
+///
+/// Stores one execution-time PMF per (task type, machine type) pair — the
+/// stochastic modelling of Salehi et al. that the paper builds on: "a
+/// matrix, called Probabilistic Execution Time (PET), is employed to store
+/// the execution time PMFs of all task types on all machine types"
+/// (section III). The matrix is immutable once frozen; freezing precomputes
+/// per-cell means and inverse-CDF samplers so the simulation hot path never
+/// rescans a PMF.
+class PetMatrix {
+ public:
+  PetMatrix(int task_types, int machine_types);
+
+  int task_type_count() const { return task_types_; }
+  int machine_type_count() const { return machine_types_; }
+
+  /// Installs the PMF for one cell. Only valid before freeze().
+  void set(TaskTypeId task, MachineTypeId machine, Pmf pmf);
+
+  /// Precomputes means and samplers. Every cell must have been set.
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+  const Pmf& pmf(TaskTypeId task, MachineTypeId machine) const;
+
+  /// Mean execution time of the cell (ticks).
+  double mean_execution(TaskTypeId task, MachineTypeId machine) const;
+
+  /// Mean execution time of a task type averaged over machine types —
+  /// the `avg_i` of the deadline rule delta_i = arr_i + avg_i + gamma*avg_all.
+  double mean_over_machines(TaskTypeId task) const;
+
+  /// Grand mean over all cells — the `avg_all` of the deadline rule.
+  double mean_overall() const;
+
+  /// Ground-truth execution-time sampler for the cell (O(log n) draws).
+  const CdfSampler& sampler(TaskTypeId task, MachineTypeId machine) const;
+
+  /// Cached cumulative-mass view of the cell's PMF (O(1) P(X < t) queries).
+  const PmfCdf& cdf(TaskTypeId task, MachineTypeId machine) const;
+
+ private:
+  std::size_t index(TaskTypeId task, MachineTypeId machine) const;
+
+  int task_types_;
+  int machine_types_;
+  bool frozen_ = false;
+  std::vector<Pmf> cells_;
+  std::vector<bool> present_;
+  std::vector<double> means_;
+  std::vector<CdfSampler> samplers_;
+  std::vector<PmfCdf> cdfs_;
+  std::vector<double> task_means_;
+  double grand_mean_ = 0.0;
+};
+
+}  // namespace taskdrop

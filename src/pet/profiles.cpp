@@ -1,0 +1,114 @@
+#include "pet/profiles.hpp"
+
+#include "util/rng.hpp"
+
+namespace taskdrop {
+namespace {
+
+/// Seed that fixes the synthetic mean matrices. Changing it changes the
+/// concrete PET numbers but not any qualitative result; it is pinned so
+/// every build reproduces the same tables.
+constexpr std::uint64_t kProfileSeed = 0x5eed0f11e5ULL;
+
+}  // namespace
+
+SystemProfile spec_hc_profile() {
+  constexpr int kTaskTypes = 12;
+  constexpr int kMachineTypes = 8;
+  SystemProfile profile;
+  profile.name = "spec_hc";
+
+  // Inconsistent heterogeneity is produced by combining a per-task base
+  // demand, a per-machine speed factor, and a strong per-cell perturbation.
+  // The perturbation is what makes the matrix *inconsistent*: it reorders
+  // machine preference from one task type to the next (verified by a unit
+  // test), mirroring the paper's eight real machines running SPECint.
+  Rng rng = Rng::derive(kProfileSeed, 1);
+  std::vector<double> task_base(kTaskTypes);
+  for (auto& b : task_base) b = rng.uniform(60.0, 170.0);
+  std::vector<double> machine_speed(kMachineTypes);
+  for (auto& s : machine_speed) s = rng.uniform(0.75, 1.35);
+
+  profile.mean_execution_ms.assign(kTaskTypes,
+                                   std::vector<double>(kMachineTypes));
+  for (int t = 0; t < kTaskTypes; ++t) {
+    for (int m = 0; m < kMachineTypes; ++m) {
+      const double perturb = rng.uniform(0.55, 1.45);
+      double mean = task_base[static_cast<std::size_t>(t)] *
+                    machine_speed[static_cast<std::size_t>(m)] * perturb;
+      // Keep every mean inside the paper's stated 50..200 ms band.
+      if (mean < 50.0) mean = 50.0 + (50.0 - mean) * 0.1;
+      if (mean > 200.0) mean = 200.0 - (mean - 200.0) * 0.1;
+      if (mean > 200.0) mean = 200.0;
+      profile.mean_execution_ms[static_cast<std::size_t>(t)]
+                               [static_cast<std::size_t>(m)] = mean;
+    }
+  }
+
+  // One machine of each type, as in the paper's eight distinct machines.
+  profile.machine_types = {0, 1, 2, 3, 4, 5, 6, 7};
+
+  // AWS-style rates: faster machine types cost more. Rates are inversely
+  // related to the machine's average execution time across task types.
+  profile.cost_per_hour.assign(kMachineTypes, 0.0);
+  for (int m = 0; m < kMachineTypes; ++m) {
+    double avg = 0.0;
+    for (int t = 0; t < kTaskTypes; ++t) {
+      avg += profile.mean_execution_ms[static_cast<std::size_t>(t)]
+                                      [static_cast<std::size_t>(m)];
+    }
+    avg /= kTaskTypes;
+    profile.cost_per_hour[static_cast<std::size_t>(m)] = 0.10 * 120.0 / avg;
+  }
+  return profile;
+}
+
+SystemProfile video_profile() {
+  SystemProfile profile;
+  profile.name = "video";
+  // Four transcoding operations (e.g. resolution change, bit-rate change,
+  // compression change, packaging) whose demands differ strongly — the
+  // paper notes "certain task type takes significantly shorter time to
+  // execute than the others across all machine types" (section V-H).
+  const std::vector<double> task_base = {35.0, 85.0, 150.0, 290.0};
+  // Four VM types (CPU-optimized, memory-optimized, GPU, general) with
+  // mild inconsistency across task types.
+  const std::vector<std::vector<double>> speed = {
+      {0.80, 1.00, 1.30, 1.05},   // task 0 relative cost per machine type
+      {1.10, 0.85, 1.25, 1.00},   // task 1
+      {1.25, 1.05, 0.70, 1.10},   // task 2 (GPU-friendly)
+      {0.95, 1.15, 0.85, 1.20}};  // task 3
+  profile.mean_execution_ms.assign(4, std::vector<double>(4));
+  for (int t = 0; t < 4; ++t) {
+    for (int m = 0; m < 4; ++m) {
+      profile.mean_execution_ms[static_cast<std::size_t>(t)]
+                               [static_cast<std::size_t>(m)] =
+          task_base[static_cast<std::size_t>(t)] *
+          speed[static_cast<std::size_t>(t)][static_cast<std::size_t>(m)];
+    }
+  }
+  // Two machines per VM type, as in section V-H's four types / eight VMs.
+  profile.machine_types = {0, 0, 1, 1, 2, 2, 3, 3};
+  profile.cost_per_hour = {0.085, 0.096, 0.270, 0.120};
+  return profile;
+}
+
+SystemProfile homogeneous_profile() {
+  const SystemProfile spec = spec_hc_profile();
+  SystemProfile profile;
+  profile.name = "homogeneous";
+  const auto task_types = spec.mean_execution_ms.size();
+  profile.mean_execution_ms.assign(task_types, std::vector<double>(1));
+  for (std::size_t t = 0; t < task_types; ++t) {
+    double avg = 0.0;
+    for (double m : spec.mean_execution_ms[t]) avg += m;
+    profile.mean_execution_ms[t][0] =
+        avg / static_cast<double>(spec.mean_execution_ms[t].size());
+  }
+  // Same cluster size as the heterogeneous system: eight identical machines.
+  profile.machine_types.assign(8, 0);
+  profile.cost_per_hour = {0.10};
+  return profile;
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace taskdrop {
+
+/// Static description of one HC-system profile: which machine types exist,
+/// how many machines of each, what the mean execution times are, and what
+/// each machine type costs to run. The PET matrix itself is built from
+/// `mean_execution_ms` by the Gamma recipe (pet_builder).
+struct SystemProfile {
+  std::string name;
+  /// [task_type][machine_type] mean execution time in ms (ticks).
+  std::vector<std::vector<double>> mean_execution_ms;
+  /// machine index -> machine type (size = number of machines).
+  std::vector<int> machine_types;
+  /// $ per hour per machine *type* (AWS-style pricing; Fig. 9 only uses
+  /// the relative magnitudes).
+  std::vector<double> cost_per_hour;
+};
+
+/// SPECint-like inconsistently heterogeneous profile of section V-A:
+/// 12 task types on 8 single-machine types, mean execution times in
+/// [50, 200] ms. The means are a fixed pseudo-random inconsistent matrix
+/// (machine A faster than B for some task types and slower for others),
+/// standing in for the paper's measured SPECint timings (see DESIGN.md
+/// substitution table).
+SystemProfile spec_hc_profile();
+
+/// Video-transcoding validation profile of section V-H: 4 transcoding task
+/// types on 4 cloud VM types, two machines per type, with high
+/// execution-time variation across task types.
+SystemProfile video_profile();
+
+/// Homogeneous control profile used by Fig. 7b: every machine is the same
+/// type; each task type's mean is its spec_hc mean averaged over machines.
+SystemProfile homogeneous_profile();
+
+}  // namespace taskdrop

@@ -1,0 +1,111 @@
+#include "prob/convolution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace taskdrop {
+namespace {
+
+/// Stride of the lattice produced by combining `a` and `b`. Single-impulse
+/// PMFs are stride-agnostic shifts; two multi-bin PMFs must share a stride
+/// (all PMFs of one scenario are built with one histogram bin width).
+Tick combined_stride(const Pmf& a, const Pmf& b) {
+  if (a.size() <= 1) return b.size() <= 1 ? Tick{1} : b.stride();
+  if (b.size() <= 1) return a.stride();
+  assert(a.stride() == b.stride() &&
+         "convolving PMFs with different bin widths is not supported");
+  return a.stride();
+}
+
+}  // namespace
+
+Pmf convolve(const Pmf& a, const Pmf& b) {
+  if (a.empty() || b.empty()) return Pmf();
+  const Tick stride = combined_stride(a, b);
+  const Tick lo = a.min_time() + b.min_time();
+  const Tick hi = a.max_time() + b.max_time();
+  std::vector<double> out(static_cast<std::size_t>((hi - lo) / stride) + 1,
+                          0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double pa = a.prob_at_index(i);
+    if (pa == 0.0) continue;
+    const Tick ta = a.time_at(i);
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const double pb = b.prob_at_index(j);
+      if (pb == 0.0) continue;
+      out[static_cast<std::size_t>((ta + b.time_at(j) - lo) / stride)] +=
+          pa * pb;
+    }
+  }
+  Pmf result(lo, stride, std::move(out));
+  result.trim();
+  return result;
+}
+
+Pmf deadline_convolve(const Pmf& pred, const Pmf& exec, Tick deadline) {
+  if (pred.empty()) return Pmf();
+  assert(!exec.empty() && "execution PMF must be non-empty");
+
+  const bool has_conv = pred.min_time() < deadline;
+  const bool has_pass = pred.max_time() >= deadline;
+  if (!has_conv) {
+    // The task can never start before its deadline: it is dropped with
+    // certainty and the slot completes exactly when the predecessor does.
+    return pred;
+  }
+
+  const Tick stride = combined_stride(pred, exec);
+  if (has_pass && pred.size() > 1 && exec.size() > 1) {
+    // Pass-through bins live on the predecessor's lattice while convolved
+    // bins live on (pred + exec); they only coincide when the execution
+    // PMF's offset is itself a lattice multiple, which the histogram
+    // builder guarantees for PET-matrix PMFs.
+    assert(exec.min_time() % stride == 0 &&
+           "execution PMF must sit on the global lattice");
+  }
+
+  // Support bounds. The convolved part only uses start times strictly
+  // below the deadline; the pass-through part only uses predecessor bins at
+  // or above it. Both live on the predecessor's lattice base.
+  Tick last_start = pred.max_time();
+  if (last_start >= deadline) {
+    const Tick over = last_start - (deadline - 1);
+    last_start -= ((over + stride - 1) / stride) * stride;
+  }
+  Tick lo = pred.min_time() + exec.min_time();
+  Tick hi = last_start + exec.max_time();
+  if (has_pass) {
+    // First predecessor lattice point at or above the deadline.
+    const Tick over = deadline - pred.min_time();
+    const Tick pass_lo = pred.min_time() + ((over + stride - 1) / stride) * stride;
+    lo = std::min(lo, pass_lo);
+    hi = std::max(hi, pred.max_time());
+  }
+  std::vector<double> out(static_cast<std::size_t>((hi - lo) / stride) + 1,
+                          0.0);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double pk = pred.prob_at_index(i);
+    if (pk == 0.0) continue;
+    const Tick k = pred.time_at(i);
+    if (k < deadline) {
+      for (std::size_t j = 0; j < exec.size(); ++j) {
+        const double pe = exec.prob_at_index(j);
+        if (pe == 0.0) continue;
+        out[static_cast<std::size_t>((k + exec.time_at(j) - lo) / stride)] +=
+            pk * pe;
+      }
+    } else {
+      out[static_cast<std::size_t>((k - lo) / stride)] += pk;
+    }
+  }
+  Pmf result(lo, stride, std::move(out));
+  result.trim();
+  return result;
+}
+
+double chance_of_success(const Pmf& completion, Tick deadline) {
+  return completion.mass_before(deadline);
+}
+
+}  // namespace taskdrop

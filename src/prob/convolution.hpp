@@ -1,0 +1,33 @@
+#pragma once
+
+#include "prob/pmf.hpp"
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Plain convolution: distribution of X + Y for independent X ~ a, Y ~ b.
+/// Either PMF may be a single impulse (pure shift); otherwise the strides
+/// must match. Returns an empty PMF when either input is empty.
+Pmf convolve(const Pmf& a, const Pmf& b);
+
+/// Deadline-truncated convolution — Eq. 1 (and Eqs. 4, 5) of the paper.
+///
+/// `pred` is the completion-time PMF of the task immediately ahead in the
+/// machine queue; `exec` is the execution-time PMF of the pending task;
+/// `deadline` is the pending task's deadline (delta_i). A pending task that
+/// cannot *start* before its deadline is reactively dropped, so:
+///
+///   * predecessor-completion mass at times k <  deadline convolves with the
+///     execution PMF (the task runs, possibly finishing past the deadline);
+///   * predecessor-completion mass at times k >= deadline passes through
+///     unchanged (the task is dropped; the slot's completion time equals the
+///     predecessor's).
+///
+/// The result is a proper PMF whenever `pred` and `exec` are proper.
+Pmf deadline_convolve(const Pmf& pred, const Pmf& exec, Tick deadline);
+
+/// Chance of success — Eq. 2: the completion-time mass strictly before the
+/// deadline.
+double chance_of_success(const Pmf& completion, Tick deadline);
+
+}  // namespace taskdrop

@@ -1,0 +1,26 @@
+#include "prob/histogram.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace taskdrop {
+
+Pmf pmf_from_samples(const std::vector<double>& samples_ms, Tick bin_width) {
+  assert(bin_width >= 1);
+  assert(!samples_ms.empty());
+  std::map<Tick, double> counts;
+  for (double x : samples_ms) {
+    assert(x >= 0.0);
+    auto bin = static_cast<Tick>(std::llround(x / static_cast<double>(bin_width)));
+    if (bin < 1) bin = 1;  // execution takes at least one bin
+    counts[bin * bin_width] += 1.0;
+  }
+  std::vector<std::pair<Tick, double>> impulses;
+  impulses.reserve(counts.size());
+  const double n = static_cast<double>(samples_ms.size());
+  for (const auto& [t, c] : counts) impulses.emplace_back(t, c / n);
+  return Pmf::from_impulses(std::move(impulses), bin_width);
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "prob/pmf.hpp"
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Precomputed inverse-CDF sampler over a PMF.
+///
+/// The simulation engine draws one "ground-truth" execution time per
+/// task-start from the PET matrix; Pmf::sample is a linear scan, so the
+/// engine caches one CdfSampler per (task type, machine type) and samples
+/// in O(log n) instead.
+class CdfSampler {
+ public:
+  CdfSampler() = default;
+
+  /// `pmf` must be proper (total mass ~ 1).
+  explicit CdfSampler(const Pmf& pmf);
+
+  bool valid() const { return !times_.empty(); }
+
+  Tick sample(Rng& rng) const;
+
+ private:
+  std::vector<Tick> times_;
+  std::vector<double> cdf_;  // inclusive prefix sums
+};
+
+/// O(1) cumulative-mass queries over a PMF.
+///
+/// The PAM mapping heuristic evaluates the chance of success of every
+/// unmapped task on every candidate machine at every mapping event; each
+/// evaluation folds an execution CDF against the machine's queue-tail PMF.
+/// Pmf::mass_before is a linear scan, so the PET matrix caches one PmfCdf
+/// per cell and the fold becomes O(|tail|) instead of O(|tail| * |exec|).
+class PmfCdf {
+ public:
+  PmfCdf() = default;
+  explicit PmfCdf(const Pmf& pmf);
+
+  bool valid() const { return !prefix_.empty(); }
+
+  /// P(X < t), identical to Pmf::mass_before on the source PMF.
+  double mass_before(Tick t) const;
+
+  double total_mass() const { return prefix_.empty() ? 0.0 : prefix_.back(); }
+
+ private:
+  Tick offset_ = 0;
+  Tick stride_ = 1;
+  /// prefix_[i] = mass of the first i bins; size = bin count + 1.
+  std::vector<double> prefix_;
+};
+
+}  // namespace taskdrop

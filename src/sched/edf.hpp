@@ -1,0 +1,23 @@
+#pragma once
+
+#include "sched/ordered_mapper.hpp"
+
+namespace taskdrop {
+
+/// Earliest Deadline First: tasks with the soonest deadline are mapped
+/// first. In an oversubscribed system this prioritises exactly the tasks
+/// least likely to succeed (section V-E's explanation of why EDF and MSD
+/// underperform without dropping).
+class EdfMapper final : public OrderedMapper {
+ public:
+  using OrderedMapper::OrderedMapper;
+  std::string_view name() const override { return "EDF"; }
+
+ protected:
+  double priority_key(const SystemView& /*view*/,
+                      const Task& task) const override {
+    return static_cast<double>(task.deadline);
+  }
+};
+
+}  // namespace taskdrop

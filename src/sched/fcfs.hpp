@@ -1,0 +1,20 @@
+#pragma once
+
+#include "sched/ordered_mapper.hpp"
+
+namespace taskdrop {
+
+/// First-Come First-Serve: tasks are mapped in arrival order.
+class FcfsMapper final : public OrderedMapper {
+ public:
+  using OrderedMapper::OrderedMapper;
+  std::string_view name() const override { return "FCFS"; }
+
+ protected:
+  double priority_key(const SystemView& /*view*/,
+                      const Task& task) const override {
+    return static_cast<double>(task.arrival);
+  }
+};
+
+}  // namespace taskdrop

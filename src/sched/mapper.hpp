@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace taskdrop {
+
+/// A batch-mode mapping heuristic (Fig. 1's Mapper). Invoked at each
+/// mapping event after the dropping mechanism; assigns unmapped tasks from
+/// the batch queue to free machine-queue slots through `ops`.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual std::string_view name() const = 0;
+  virtual void map_tasks(SystemView& view, SchedulerOps& ops) = 0;
+};
+
+namespace mapper_detail {
+
+/// Machines that currently have a free machine-queue slot.
+std::vector<MachineId> machines_with_free_slot(const SystemView& view);
+
+/// Expected completion time of `task` if appended to `machine`'s queue:
+/// mean of the queue-tail completion PMF plus the mean execution time of
+/// the task type on that machine type (means are additive under
+/// convolution). This is the "expected completion time" both phases of
+/// MinMin/MSD/PAM rank by.
+double expected_completion_mean(SystemView& view, MachineId machine,
+                                const Task& task);
+
+/// The first `window` unmapped tasks considered by the heuristics. A cap
+/// bounds per-event mapping cost under extreme oversubscription; with the
+/// paper's parameters the batch rarely exceeds it (stale tasks are
+/// reactively dropped as their deadlines pass).
+std::vector<TaskId> candidate_tasks(const SystemView& view, int window);
+
+/// One provisional task->machine pair from the first phase of a two-phase
+/// heuristic.
+struct CandidatePair {
+  TaskId task = -1;
+  MachineId machine = -1;
+  double expected_completion = 0.0;
+};
+
+/// First phase shared by MinMin and MSD: for every candidate task, the free
+/// machine offering the minimum expected completion time.
+std::vector<CandidatePair> min_completion_pairs(
+    SystemView& view, const std::vector<MachineId>& free_machines, int window);
+
+}  // namespace mapper_detail
+}  // namespace taskdrop

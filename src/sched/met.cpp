@@ -1,0 +1,29 @@
+#include "sched/met.hpp"
+
+namespace taskdrop {
+
+void MetMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
+  for (;;) {
+    const auto free_machines = mapper_detail::machines_with_free_slot(view);
+    if (free_machines.empty() || view.batch_queue->empty()) return;
+    const auto candidates = mapper_detail::candidate_tasks(view, window_);
+    if (candidates.empty()) return;
+
+    const TaskId task_id = candidates.front();
+    const Task& task = view.task(task_id);
+    MachineId best_machine = -1;
+    double best_exec = 0.0;
+    for (MachineId m : free_machines) {
+      const MachineTypeId type =
+          (*view.machines)[static_cast<std::size_t>(m)].type;
+      const double exec = view.pet->mean_execution(task.type, type);
+      if (best_machine < 0 || exec < best_exec) {
+        best_machine = m;
+        best_exec = exec;
+      }
+    }
+    ops.assign_task(task_id, best_machine);
+  }
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "sched/mapper.hpp"
+
+namespace taskdrop {
+
+/// Minimum Execution Time (MET): each task goes to the free machine with
+/// the smallest *execution* time for its task type, ignoring queue backlog
+/// entirely. A classic lightweight HC heuristic that performs well when
+/// load is balanced and degenerates when one machine dominates — a useful
+/// stress case for the dropping mechanism. Tasks are taken in batch order.
+class MetMapper final : public Mapper {
+ public:
+  explicit MetMapper(int candidate_window = 256)
+      : window_(candidate_window) {}
+
+  std::string_view name() const override { return "MET"; }
+  void map_tasks(SystemView& view, SchedulerOps& ops) override;
+
+ private:
+  int window_;
+};
+
+}  // namespace taskdrop

@@ -1,0 +1,40 @@
+#include "sched/msd.hpp"
+
+namespace taskdrop {
+
+void MsdMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
+  using mapper_detail::CandidatePair;
+  for (;;) {
+    const auto free_machines = mapper_detail::machines_with_free_slot(view);
+    if (free_machines.empty() || view.batch_queue->empty()) return;
+    const auto pairs =
+        mapper_detail::min_completion_pairs(view, free_machines, window_);
+    if (pairs.empty()) return;
+
+    bool assigned_any = false;
+    for (MachineId m : free_machines) {
+      const CandidatePair* best = nullptr;
+      for (const CandidatePair& pair : pairs) {
+        if (pair.machine != m) continue;
+        if (best == nullptr) {
+          best = &pair;
+          continue;
+        }
+        const Tick best_deadline = view.task(best->task).deadline;
+        const Tick pair_deadline = view.task(pair.task).deadline;
+        if (pair_deadline < best_deadline ||
+            (pair_deadline == best_deadline &&
+             pair.expected_completion < best->expected_completion)) {
+          best = &pair;
+        }
+      }
+      if (best != nullptr) {
+        ops.assign_task(best->task, m);
+        assigned_any = true;
+      }
+    }
+    if (!assigned_any) return;
+  }
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "sched/mapper.hpp"
+
+namespace taskdrop {
+
+/// Shared machinery for the single-phase, priority-ordered mapping
+/// heuristics popular in homogeneous systems (FCFS, SJF, EDF — section
+/// V-B). Each round picks the highest-priority unmapped task according to
+/// `priority_key` (lower = map first) and assigns it to the free machine
+/// whose queue-tail expected completion is smallest (the least-loaded
+/// machine; on a homogeneous cluster this is the natural choice and on a
+/// heterogeneous one it degrades gracefully).
+class OrderedMapper : public Mapper {
+ public:
+  explicit OrderedMapper(int candidate_window = 256)
+      : window_(candidate_window) {}
+
+  void map_tasks(SystemView& view, SchedulerOps& ops) final;
+
+ protected:
+  /// Lower key = mapped earlier. Ties resolve to arrival order (stable).
+  virtual double priority_key(const SystemView& view,
+                              const Task& task) const = 0;
+
+ private:
+  int window_;
+};
+
+}  // namespace taskdrop

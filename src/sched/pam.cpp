@@ -1,0 +1,53 @@
+#include "sched/pam.hpp"
+
+namespace taskdrop {
+
+void PamMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
+  for (;;) {
+    const auto free_machines = mapper_detail::machines_with_free_slot(view);
+    if (free_machines.empty() || view.batch_queue->empty()) return;
+
+    TaskId best_task = -1;
+    MachineId best_machine = -1;
+    double best_completion = 0.0;
+    double best_exec_mean = 0.0;
+
+    for (TaskId id : mapper_detail::candidate_tasks(view, window_)) {
+      const Task& task = view.task(id);
+      // Phase 1: machine with the highest chance of success for this task.
+      MachineId chance_machine = -1;
+      double chance_best = -1.0;
+      for (MachineId m : free_machines) {
+        CompletionModel& model = (*view.models)[static_cast<std::size_t>(m)];
+        const double chance = model.chance_if_appended(task.type, task.deadline);
+        if (chance > chance_best) {
+          chance_best = chance;
+          chance_machine = m;
+        }
+      }
+      if (chance_machine < 0) continue;
+      // Deferring variant (PAMD): tasks unlikely to succeed anywhere stay
+      // in the batch queue this round rather than wasting a machine slot.
+      if (defer_threshold_ > 0.0 && chance_best < defer_threshold_) continue;
+
+      // Phase 2 key: lowest expected completion, ties by shortest expected
+      // execution time.
+      const double completion =
+          mapper_detail::expected_completion_mean(view, chance_machine, task);
+      const double exec_mean = view.pet->mean_execution(
+          task.type,
+          (*view.machines)[static_cast<std::size_t>(chance_machine)].type);
+      if (best_task < 0 || completion < best_completion ||
+          (completion == best_completion && exec_mean < best_exec_mean)) {
+        best_task = id;
+        best_machine = chance_machine;
+        best_completion = completion;
+        best_exec_mean = exec_mean;
+      }
+    }
+    if (best_task < 0) return;
+    ops.assign_task(best_task, best_machine);
+  }
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "sched/mapper.hpp"
+
+namespace taskdrop {
+
+/// Pruning-Aware Mapping (PAM) — section V-B3, from Gentry et al. [2].
+///
+/// Phase 1: for each unmapped task, find the free machine providing the
+/// *highest chance of success* (Eq. 2 applied to the provisional queue
+/// tail). Phase 2: among those pairs, map the single pair with the lowest
+/// expected completion time; ties broken by the shortest expected execution
+/// time. Rounds repeat until queues are full or the batch is depleted.
+///
+/// The original PAM also drops and defers with a predetermined threshold;
+/// per section V-B3 deferring is disabled by default here (dropping is
+/// supplied by whichever Dropper the experiment composes with the mapper).
+/// Construct with `defer_threshold > 0` to restore Gentry et al.'s
+/// deferring: a task whose best chance of success falls below the threshold
+/// stays in the batch queue this round, waiting for a better slot — the
+/// "PAMD" registry entry, ablated in bench/ablation_deferral.
+class PamMapper final : public Mapper {
+ public:
+  explicit PamMapper(int candidate_window = 256, double defer_threshold = 0.0)
+      : window_(candidate_window), defer_threshold_(defer_threshold) {}
+
+  std::string_view name() const override {
+    return defer_threshold_ > 0.0 ? "PAMD" : "PAM";
+  }
+  void map_tasks(SystemView& view, SchedulerOps& ops) override;
+
+ private:
+  int window_;
+  double defer_threshold_;
+};
+
+}  // namespace taskdrop

@@ -1,0 +1,67 @@
+#include "sched/registry.hpp"
+
+#include <stdexcept>
+
+#include "core/approx_dropper.hpp"
+#include "core/null_dropper.hpp"
+#include "core/optimal_dropper.hpp"
+#include "core/proactive_heuristic_dropper.hpp"
+#include "core/threshold_dropper.hpp"
+#include "sched/edf.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/max_min.hpp"
+#include "sched/met.hpp"
+#include "sched/min_min.hpp"
+#include "sched/msd.hpp"
+#include "sched/pam.hpp"
+#include "sched/round_robin.hpp"
+#include "sched/sjf.hpp"
+
+namespace taskdrop {
+
+std::unique_ptr<Mapper> make_mapper(const std::string& name,
+                                    int candidate_window) {
+  if (name == "MM" || name == "MinMin") {
+    return std::make_unique<MinMinMapper>(candidate_window);
+  }
+  if (name == "MSD") return std::make_unique<MsdMapper>(candidate_window);
+  if (name == "PAM") return std::make_unique<PamMapper>(candidate_window);
+  if (name == "PAMD") {
+    // Deferring PAM: threshold 0.3, Gentry et al.'s default regime.
+    return std::make_unique<PamMapper>(candidate_window, 0.3);
+  }
+  if (name == "MaxMin") return std::make_unique<MaxMinMapper>(candidate_window);
+  if (name == "MET") return std::make_unique<MetMapper>(candidate_window);
+  if (name == "RR") return std::make_unique<RoundRobinMapper>(candidate_window);
+  if (name == "FCFS") return std::make_unique<FcfsMapper>(candidate_window);
+  if (name == "SJF") return std::make_unique<SjfMapper>(candidate_window);
+  if (name == "EDF") return std::make_unique<EdfMapper>(candidate_window);
+  throw std::invalid_argument("unknown mapper: " + name);
+}
+
+std::vector<std::string> mapper_names() {
+  return {"MSD", "MM", "PAM", "FCFS", "EDF", "SJF", "MaxMin", "MET", "RR",
+          "PAMD"};
+}
+
+std::unique_ptr<Dropper> make_dropper(const DropperConfig& config) {
+  switch (config.kind) {
+    case DropperConfig::Kind::ReactiveOnly:
+      return std::make_unique<NullDropper>();
+    case DropperConfig::Kind::Heuristic:
+      return std::make_unique<ProactiveHeuristicDropper>(
+          ProactiveHeuristicDropper::Params{config.effective_depth,
+                                            config.beta});
+    case DropperConfig::Kind::Optimal:
+      return std::make_unique<OptimalDropper>();
+    case DropperConfig::Kind::Threshold:
+      return std::make_unique<ThresholdDropper>(ThresholdDropper::Params{
+          config.base_threshold, config.adaptive_threshold});
+    case DropperConfig::Kind::Approx:
+      return std::make_unique<ApproxDropper>(
+          ApproxDropper::Params{config.effective_depth, config.beta});
+  }
+  throw std::invalid_argument("unknown dropper kind");
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,28 @@
+#include "sched/round_robin.hpp"
+
+namespace taskdrop {
+
+void RoundRobinMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
+  const std::size_t machine_count = view.machines->size();
+  for (;;) {
+    if (view.batch_queue->empty()) return;
+    const auto candidates = mapper_detail::candidate_tasks(view, window_);
+    if (candidates.empty()) return;
+
+    // Next machine in cyclic order with a free slot.
+    MachineId target = -1;
+    for (std::size_t probe = 0; probe < machine_count; ++probe) {
+      const std::size_t index = (next_machine_ + probe) % machine_count;
+      if ((*view.machines)[index].up &&
+          (*view.machines)[index].has_free_slot()) {
+        target = static_cast<MachineId>(index);
+        next_machine_ = index + 1;
+        break;
+      }
+    }
+    if (target < 0) return;
+    ops.assign_task(candidates.front(), target);
+  }
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "sched/mapper.hpp"
+
+namespace taskdrop {
+
+/// Round-robin: tasks are taken in arrival order and dealt to machines in
+/// cyclic order, skipping full queues. The weakest sensible baseline — it
+/// uses neither execution times nor deadlines — and therefore the cleanest
+/// probe of how much a dropping mechanism can compensate for a mapper with
+/// no information at all.
+class RoundRobinMapper final : public Mapper {
+ public:
+  explicit RoundRobinMapper(int candidate_window = 256)
+      : window_(candidate_window) {}
+
+  std::string_view name() const override { return "RR"; }
+  void map_tasks(SystemView& view, SchedulerOps& ops) override;
+
+ private:
+  int window_;
+  std::size_t next_machine_ = 0;
+};
+
+}  // namespace taskdrop

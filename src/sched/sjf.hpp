@@ -1,0 +1,23 @@
+#pragma once
+
+#include "sched/ordered_mapper.hpp"
+
+namespace taskdrop {
+
+/// Shortest Job First: tasks with the smallest mean execution time (averaged
+/// over machine types — on a homogeneous system this is just the task
+/// type's mean) are mapped first. Section V-E notes SJF's strength in
+/// oversubscription: always running the shortest tasks maximises the count
+/// of completed tasks.
+class SjfMapper final : public OrderedMapper {
+ public:
+  using OrderedMapper::OrderedMapper;
+  std::string_view name() const override { return "SJF"; }
+
+ protected:
+  double priority_key(const SystemView& view, const Task& task) const override {
+    return view.pet->mean_over_machines(task.type);
+  }
+};
+
+}  // namespace taskdrop

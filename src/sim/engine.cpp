@@ -1,0 +1,334 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "pet/pet_builder.hpp"
+
+namespace taskdrop {
+namespace {
+
+/// TaskCompletion events pack (machine, run token) so completions scheduled
+/// for a run that a failure killed can be recognised as stale.
+constexpr std::int64_t kTokenShift = 20;
+
+std::int64_t pack_completion(MachineId machine, std::uint32_t token) {
+  return static_cast<std::int64_t>(machine) +
+         (static_cast<std::int64_t>(token) << kTokenShift);
+}
+
+MachineId unpack_machine(std::int64_t payload) {
+  return static_cast<MachineId>(payload & ((std::int64_t{1} << kTokenShift) - 1));
+}
+
+std::uint32_t unpack_token(std::int64_t payload) {
+  return static_cast<std::uint32_t>(payload >> kTokenShift);
+}
+
+}  // namespace
+
+Engine::Engine(const PetMatrix& pet, std::vector<MachineTypeId> machine_types,
+               Mapper& mapper, Dropper& dropper, EngineConfig config)
+    : pet_(pet),
+      machine_type_of_(std::move(machine_types)),
+      mapper_(mapper),
+      dropper_(dropper),
+      config_(config),
+      exec_rng_(config.exec_seed),
+      failure_rng_(config.failures.seed) {
+  assert(!machine_type_of_.empty());
+  assert(config_.queue_capacity >= 1);
+  if (config_.approx.enabled) {
+    approx_pet_.emplace(scaled_pet(pet_, config_.approx.time_factor));
+  }
+}
+
+void Engine::reset(const Trace& trace) {
+  now_ = 0;
+  deadline_miss_pending_ = false;
+  mapping_events_ = 0;
+  dropper_invocations_ = 0;
+  live_tasks_ = static_cast<long long>(trace.size());
+  exec_rng_.reseed(config_.exec_seed);
+  failure_rng_.reseed(config_.failures.seed);
+  batch_.clear();
+  events_ = EventQueue();
+
+  tasks_.clear();
+  tasks_.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    task.type = trace[i].type;
+    task.arrival = trace[i].arrival;
+    task.deadline = trace[i].deadline;
+    tasks_.push_back(task);
+    events_.push(task.arrival, EventKind::TaskArrival, task.id);
+  }
+
+  machines_.clear();
+  machines_.reserve(machine_type_of_.size());
+  models_.clear();
+  models_.reserve(machine_type_of_.size());
+  for (std::size_t m = 0; m < machine_type_of_.size(); ++m) {
+    machines_.emplace_back(static_cast<MachineId>(m), machine_type_of_[m],
+                           config_.queue_capacity);
+  }
+  // Models bind to stable storage: machines_ and tasks_ are fully sized by
+  // now and never reallocate during the run.
+  CompletionModel::Options options;
+  options.condition_running = config_.condition_running;
+  options.approx_pet = approx_pet_ ? &*approx_pet_ : nullptr;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    models_.emplace_back(&pet_, &machines_[m], &tasks_, options);
+  }
+
+  view_ = SystemView{0,
+                     &pet_,
+                     approx_pet_ ? &*approx_pet_ : nullptr,
+                     config_.approx.utility_weight,
+                     &tasks_,
+                     &machines_,
+                     &models_,
+                     &batch_};
+
+  if (config_.failures.enabled && live_tasks_ > 0) {
+    for (const Machine& machine : machines_) {
+      schedule_next_failure(machine.id);
+    }
+  }
+}
+
+void Engine::schedule_next_failure(MachineId machine) {
+  if (!config_.failures.enabled || live_tasks_ <= 0) return;
+  const double up_time =
+      failure_rng_.exponential(config_.failures.mean_time_between_failures);
+  events_.push(now_ + std::max<Tick>(1, std::llround(up_time)),
+               EventKind::MachineFailure, machine);
+}
+
+void Engine::set_now(Tick now) {
+  now_ = now;
+  view_.now = now;
+  for (CompletionModel& model : models_) model.set_now(now);
+}
+
+SimResult Engine::run(const Trace& trace) {
+  reset(trace);
+
+  while (!events_.empty()) {
+    const Event event = events_.pop();
+    set_now(event.time);
+    switch (event.kind) {
+      case EventKind::TaskArrival:
+        handle_arrival(static_cast<TaskId>(event.payload));
+        break;
+      case EventKind::TaskCompletion:
+        handle_completion(unpack_machine(event.payload),
+                          unpack_token(event.payload));
+        break;
+      case EventKind::MachineFailure:
+        handle_failure(static_cast<MachineId>(event.payload));
+        break;
+      case EventKind::MachineRecovery:
+        handle_recovery(static_cast<MachineId>(event.payload));
+        break;
+    }
+    mapping_event();
+  }
+
+  SimResult result;
+  result.tasks = std::move(tasks_);
+  result.busy_ticks.reserve(machines_.size());
+  result.machine_types = machine_type_of_;
+  for (const Machine& machine : machines_) {
+    result.busy_ticks.push_back(machine.busy_ticks);
+    assert(machine.queue.empty() && "system must drain to idle");
+  }
+  result.makespan = now_;
+  result.mapping_events = mapping_events_;
+  result.dropper_invocations = dropper_invocations_;
+  return result;
+}
+
+void Engine::handle_arrival(TaskId task) {
+  assert(tasks_[static_cast<std::size_t>(task)].state == TaskState::Unmapped);
+  batch_.push_back(task);
+}
+
+void Engine::handle_completion(MachineId machine_id, std::uint32_t token) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  if (!machine.running || machine.run_token != token) {
+    return;  // stale: the run this completion belonged to was interrupted
+  }
+  assert(now_ == machine.run_end);
+  Task& task = tasks_[static_cast<std::size_t>(machine.queue.front())];
+  task.finish_time = now_;
+  if (now_ < task.deadline) {
+    task.state = TaskState::CompletedOnTime;
+  } else {
+    task.state = TaskState::CompletedLate;
+    deadline_miss_pending_ = true;
+  }
+  on_terminal();
+  machine.busy_ticks += now_ - machine.run_start;
+  machine.queue.pop_front();
+  machine.running = false;
+  machine.run_end = kNeverTick;
+  models_[static_cast<std::size_t>(machine_id)].invalidate_all();
+}
+
+void Engine::handle_failure(MachineId machine_id) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  if (!machine.up) return;  // already down (stale failure)
+  machine.up = false;
+  if (machine.running) {
+    Task& task = tasks_[static_cast<std::size_t>(machine.queue.front())];
+    task.state = TaskState::LostToFailure;
+    task.drop_time = now_;
+    on_terminal();
+    // The partially executed time was still paid for.
+    machine.busy_ticks += now_ - machine.run_start;
+    machine.queue.pop_front();
+    machine.running = false;
+    machine.run_end = kNeverTick;
+    ++machine.run_token;  // invalidates the scheduled completion event
+    models_[static_cast<std::size_t>(machine_id)].invalidate_all();
+  }
+  const double repair =
+      failure_rng_.exponential(config_.failures.mean_time_to_repair);
+  events_.push(now_ + std::max<Tick>(1, std::llround(repair)),
+               EventKind::MachineRecovery, machine_id);
+}
+
+void Engine::handle_recovery(MachineId machine_id) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  machine.up = true;
+  schedule_next_failure(machine_id);
+  // start_next runs at the end of the mapping event that follows.
+}
+
+bool Engine::reactive_drop_pass() {
+  bool any = false;
+  for (Machine& machine : machines_) {
+    std::size_t pos = machine.first_pending_pos();
+    while (pos < machine.queue.size()) {
+      Task& task = tasks_[static_cast<std::size_t>(machine.queue[pos])];
+      if (now_ >= task.deadline) {
+        task.state = TaskState::DroppedReactive;
+        task.drop_time = now_;
+        on_terminal();
+        machine.remove_at(pos);
+        models_[static_cast<std::size_t>(machine.id)].invalidate_from(pos);
+        any = true;
+      } else {
+        ++pos;
+      }
+    }
+  }
+  // Unmapped tasks whose deadlines passed can never start in time either.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < batch_.size(); ++read) {
+    Task& task = tasks_[static_cast<std::size_t>(batch_[read])];
+    if (now_ >= task.deadline) {
+      task.state = TaskState::DroppedReactive;
+      task.drop_time = now_;
+      on_terminal();
+      any = true;
+    } else {
+      batch_[write++] = batch_[read];
+    }
+  }
+  batch_.resize(write);
+  return any;
+}
+
+void Engine::mapping_event() {
+  ++mapping_events_;
+  bool miss_noticed = deadline_miss_pending_;
+  deadline_miss_pending_ = false;
+  // Step 2 of Fig. 4: reactive drops come first.
+  miss_noticed |= reactive_drop_pass();
+
+  if (config_.engagement == DropperEngagement::EveryMappingEvent ||
+      miss_noticed) {
+    ++dropper_invocations_;
+    dropper_.run(view_, *this);
+  }
+
+  // Step 10 of Fig. 4: the mapping heuristic runs after the dropper.
+  mapper_.map_tasks(view_, *this);
+
+  for (Machine& machine : machines_) start_next(machine);
+}
+
+void Engine::start_next(Machine& machine) {
+  while (machine.up && !machine.running && !machine.queue.empty()) {
+    Task& task = tasks_[static_cast<std::size_t>(machine.queue.front())];
+    if (now_ >= task.deadline) {
+      // Could not start before its deadline: reactive drop (section IV-B).
+      task.state = TaskState::DroppedReactive;
+      task.drop_time = now_;
+      on_terminal();
+      machine.queue.pop_front();
+      models_[static_cast<std::size_t>(machine.id)].invalidate_all();
+      deadline_miss_pending_ = true;
+      continue;
+    }
+    const PetMatrix& source =
+        task.approximate && approx_pet_ ? *approx_pet_ : pet_;
+    const Tick duration =
+        source.sampler(task.type, machine.type).sample(exec_rng_);
+    task.state = TaskState::Running;
+    task.start_time = now_;
+    task.actual_execution = duration;
+    machine.running = true;
+    machine.run_start = now_;
+    machine.run_end = now_ + duration;
+    ++machine.run_token;
+    models_[static_cast<std::size_t>(machine.id)].invalidate_all();
+    events_.push(machine.run_end, EventKind::TaskCompletion,
+                 pack_completion(machine.id, machine.run_token));
+  }
+}
+
+void Engine::assign_task(TaskId task_id, MachineId machine_id) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  Task& task = tasks_[static_cast<std::size_t>(task_id)];
+  assert(task.state == TaskState::Unmapped);
+  assert(machine.has_free_slot());
+  assert(machine.up && "down machines accept no assignments");
+  const auto it = std::find(batch_.begin(), batch_.end(), task_id);
+  assert(it != batch_.end() && "task must come from the batch queue");
+  batch_.erase(it);
+  task.state = TaskState::Queued;
+  task.machine = machine_id;
+  machine.enqueue(task_id);
+  models_[static_cast<std::size_t>(machine_id)].invalidate_from(
+      machine.queue.size() - 1);
+}
+
+void Engine::drop_queued_task(MachineId machine_id, std::size_t pos) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  assert(pos >= machine.first_pending_pos() && pos < machine.queue.size());
+  Task& task = tasks_[static_cast<std::size_t>(machine.queue[pos])];
+  assert(task.state == TaskState::Queued);
+  task.state = TaskState::DroppedProactive;
+  task.drop_time = now_;
+  on_terminal();
+  machine.remove_at(pos);
+  models_[static_cast<std::size_t>(machine_id)].invalidate_from(pos);
+}
+
+void Engine::downgrade_task(MachineId machine_id, std::size_t pos) {
+  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
+  assert(pos >= machine.first_pending_pos() && pos < machine.queue.size());
+  Task& task = tasks_[static_cast<std::size_t>(machine.queue[pos])];
+  assert(task.state == TaskState::Queued);
+  if (task.approximate) return;
+  task.approximate = true;
+  models_[static_cast<std::size_t>(machine_id)].invalidate_from(pos);
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/dropper.hpp"
+#include "pet/pet_matrix.hpp"
+#include "sched/mapper.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/sim_result.hpp"
+#include "workload/trace.hpp"
+
+namespace taskdrop {
+
+/// Failure-injection extension (the paper's section VI future work on
+/// "resource failure"): machines fail and recover with exponential
+/// inter-failure and repair times. A failing machine kills its running task
+/// (state LostToFailure — partially executed time is still billed); its
+/// queued tasks wait for recovery (mapped tasks cannot be remapped,
+/// section III) and expire reactively as their deadlines pass. Down
+/// machines accept no new assignments.
+struct FailureModel {
+  bool enabled = false;
+  /// Mean up-time between failures per machine, ticks.
+  double mean_time_between_failures = 60000.0;
+  /// Mean repair duration, ticks.
+  double mean_time_to_repair = 3000.0;
+  std::uint64_t seed = 0xFA11;
+};
+
+/// Approximate-computing extension (section VI future work): tasks can be
+/// switched to a degraded-quality variant whose execution PMF is the full
+/// one time-scaled by `time_factor`; an on-time approximate completion
+/// contributes `utility_weight` (vs 1.0) to the utility metric.
+struct ApproxModel {
+  bool enabled = false;
+  double time_factor = 0.5;
+  double utility_weight = 0.5;
+};
+
+/// Engine tuning knobs. Defaults mirror the paper's evaluation setup.
+struct EngineConfig {
+  /// Machine-queue capacity, running task included (section V-A: six).
+  int queue_capacity = 6;
+  /// When the dropping mechanism runs (Fig. 4 vs section V-A).
+  DropperEngagement engagement = DropperEngagement::EveryMappingEvent;
+  /// Extension: condition the running task's completion PMF on "not done
+  /// yet" (see CompletionModel::Options).
+  bool condition_running = false;
+  /// Seed of the ground-truth execution-time sampling stream.
+  std::uint64_t exec_seed = 7;
+  FailureModel failures;
+  ApproxModel approx;
+};
+
+/// The online batch-mode resource-allocation simulator of Fig. 1.
+///
+/// Drives a discrete-event loop over task arrivals and completions. Every
+/// event triggers a mapping event (section III): expired pending tasks are
+/// reactively dropped, the Task Dropper runs (per the engagement policy),
+/// the Mapper assigns unmapped batch-queue tasks to free machine-queue
+/// slots, and idle machines start their queue heads. Ground-truth execution
+/// times are sampled from the same PET PMFs the scheduler reasons over —
+/// the scheduler sees only distributions, never the sampled durations.
+class Engine final : private SchedulerOps {
+ public:
+  /// `pet` must outlive the engine. `machine_types[i]` is machine i's type
+  /// (an index into the PET matrix's machine axis).
+  Engine(const PetMatrix& pet, std::vector<MachineTypeId> machine_types,
+         Mapper& mapper, Dropper& dropper, EngineConfig config = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs one trial to completion (system drains back to idle) and returns
+  /// the per-task outcomes. The engine can be reused for further runs.
+  SimResult run(const Trace& trace);
+
+ private:
+  // SchedulerOps (exposed to the mapper and dropper via SystemView).
+  void assign_task(TaskId task, MachineId machine) override;
+  void drop_queued_task(MachineId machine, std::size_t pos) override;
+  void downgrade_task(MachineId machine, std::size_t pos) override;
+
+  void reset(const Trace& trace);
+  void handle_arrival(TaskId task);
+  void handle_completion(MachineId machine, std::uint32_t token);
+  void handle_failure(MachineId machine);
+  void handle_recovery(MachineId machine);
+  void mapping_event();
+  /// Drops expired pending tasks (machine queues and batch queue); returns
+  /// true when at least one task was dropped.
+  bool reactive_drop_pass();
+  void start_next(Machine& machine);
+  void set_now(Tick now);
+  /// Marks a terminal transition (bookkeeping for failure-event cutoff).
+  void on_terminal() { --live_tasks_; }
+  void schedule_next_failure(MachineId machine);
+
+  const PetMatrix& pet_;
+  std::vector<MachineTypeId> machine_type_of_;
+  Mapper& mapper_;
+  Dropper& dropper_;
+  EngineConfig config_;
+  /// Time-scaled PET for approximate-mode tasks (approx extension only).
+  std::optional<PetMatrix> approx_pet_;
+
+  Tick now_ = 0;
+  std::vector<Task> tasks_;
+  std::vector<Machine> machines_;
+  std::vector<CompletionModel> models_;
+  std::vector<TaskId> batch_;
+  EventQueue events_;
+  Rng exec_rng_;
+  Rng failure_rng_;
+  SystemView view_;
+  bool deadline_miss_pending_ = false;
+  long long mapping_events_ = 0;
+  long long dropper_invocations_ = 0;
+  /// Tasks not yet in a terminal state; failure events stop being scheduled
+  /// once this reaches zero so the simulation always drains.
+  long long live_tasks_ = 0;
+};
+
+}  // namespace taskdrop

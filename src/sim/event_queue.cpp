@@ -1,0 +1,18 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace taskdrop {
+
+void EventQueue::push(Tick time, EventKind kind, std::int64_t payload) {
+  heap_.push(Event{time, kind, payload, next_seq_++});
+}
+
+Event EventQueue::pop() {
+  assert(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Kinds of discrete events driving the simulation. Section III: "A mapping
+/// event is triggered by completing or arrival of a task."
+enum class EventKind : std::uint8_t {
+  TaskArrival,
+  TaskCompletion,
+  /// Failure-injection extension: a machine goes down / comes back.
+  MachineFailure,
+  MachineRecovery,
+};
+
+struct Event {
+  Tick time = 0;
+  EventKind kind = EventKind::TaskArrival;
+  /// TaskArrival: the arriving task id. TaskCompletion: machine id plus the
+  /// run token (see Engine). MachineFailure/Recovery: the machine id.
+  std::int64_t payload = -1;
+  /// Monotonic sequence number breaking time ties deterministically
+  /// (FIFO among same-tick events).
+  std::uint64_t seq = 0;
+};
+
+/// Min-heap of events ordered by (time, insertion order). Determinism of the
+/// whole simulation rests on the tie-break: two events at the same tick are
+/// processed in the order they were scheduled.
+class EventQueue {
+ public:
+  void push(Tick time, EventKind kind, std::int64_t payload);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Pops the earliest event. Precondition: !empty().
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace taskdrop

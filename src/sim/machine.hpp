@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cassert>
+#include <deque>
+
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// One machine of the HC system: a bounded FCFS local queue plus an
+/// execution unit. The queue capacity *includes* the running task, matching
+/// section V-A ("a machine-queue which can store up to six tasks, including
+/// the task that is currently executing"). Mapped tasks cannot be remapped
+/// (section III), but pending (non-running) tasks can be dropped.
+struct Machine {
+  Machine(MachineId id_in, MachineTypeId type_in, int capacity_in)
+      : id(id_in), type(type_in), capacity(capacity_in) {}
+
+  MachineId id;
+  MachineTypeId type;
+  int capacity;
+
+  /// Front = oldest; when `running` is true the front task is executing.
+  std::deque<TaskId> queue;
+  bool running = false;
+  Tick run_start = 0;
+  Tick run_end = kNeverTick;
+  /// Failure-injection extension: a down machine neither executes nor
+  /// accepts new assignments; its queued tasks wait for recovery (mapped
+  /// tasks cannot be remapped, section III).
+  bool up = true;
+  /// Bumped on every execution start and failure kill; lets the engine
+  /// discard completion events that became stale when a failure interrupted
+  /// the run they were scheduled for.
+  std::uint32_t run_token = 0;
+
+  /// Cumulative busy (executing) time, for the cost model.
+  Tick busy_ticks = 0;
+
+  bool has_free_slot() const {
+    return static_cast<int>(queue.size()) < capacity;
+  }
+
+  /// Number of pending (queued, not running) tasks.
+  std::size_t pending_count() const {
+    return queue.size() - (running ? 1u : 0u);
+  }
+
+  /// Queue position of the first droppable (non-running) task.
+  std::size_t first_pending_pos() const { return running ? 1u : 0u; }
+
+  void enqueue(TaskId task) {
+    assert(has_free_slot());
+    queue.push_back(task);
+  }
+
+  /// Removes the task at `pos` (must not be the running task).
+  void remove_at(std::size_t pos) {
+    assert(pos < queue.size());
+    assert(!(running && pos == 0) && "cannot remove the running task");
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+};
+
+}  // namespace taskdrop

@@ -1,0 +1,67 @@
+#include "sim/sim_result.hpp"
+
+#include <algorithm>
+
+namespace taskdrop {
+
+SimCounts SimResult::counts_in_window(int exclude_head,
+                                      int exclude_tail) const {
+  SimCounts counts;
+  const auto n = static_cast<long long>(tasks.size());
+  long long head = std::max(0LL, static_cast<long long>(exclude_head));
+  long long tail = std::max(0LL, static_cast<long long>(exclude_tail));
+  if (head + tail >= n) {
+    head = 0;
+    tail = 0;
+  }
+  for (long long i = head; i < n - tail; ++i) {
+    const Task& task = tasks[static_cast<std::size_t>(i)];
+    switch (task.state) {
+      case TaskState::CompletedOnTime:
+        ++counts.completed_on_time;
+        if (task.approximate) ++counts.approx_on_time;
+        break;
+      case TaskState::CompletedLate: ++counts.completed_late; break;
+      case TaskState::LostToFailure: ++counts.lost_to_failure; break;
+      case TaskState::DroppedReactive:
+        // machine >= 0 means the task had been mapped when it expired.
+        if (task.machine >= 0) {
+          ++counts.dropped_reactive_queued;
+        } else {
+          ++counts.expired_unmapped;
+        }
+        break;
+      case TaskState::DroppedProactive: ++counts.dropped_proactive; break;
+      default: break;  // non-terminal states never survive a finished run
+    }
+  }
+  return counts;
+}
+
+double SimResult::robustness_pct(int exclude_head, int exclude_tail) const {
+  const SimCounts counts = counts_in_window(exclude_head, exclude_tail);
+  if (counts.total() == 0) return 0.0;
+  return 100.0 * static_cast<double>(counts.completed_on_time) /
+         static_cast<double>(counts.total());
+}
+
+double SimResult::utility_pct(double approx_weight, int exclude_head,
+                              int exclude_tail) const {
+  const SimCounts counts = counts_in_window(exclude_head, exclude_tail);
+  if (counts.total() == 0) return 0.0;
+  const double full = static_cast<double>(counts.completed_on_time -
+                                          counts.approx_on_time);
+  const double approx =
+      approx_weight * static_cast<double>(counts.approx_on_time);
+  return 100.0 * (full + approx) / static_cast<double>(counts.total());
+}
+
+double SimResult::reactive_drop_share_pct(int exclude_head,
+                                          int exclude_tail) const {
+  const SimCounts counts = counts_in_window(exclude_head, exclude_tail);
+  if (counts.dropped_in_queue() == 0) return 0.0;
+  return 100.0 * static_cast<double>(counts.dropped_reactive_queued) /
+         static_cast<double>(counts.dropped_in_queue());
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Terminal-state tallies of one simulation run. Reactive drops are split
+/// by where they happened: inside a machine queue (the Task Dropper's
+/// domain — what section V-F's "percentage of tasks dropped reactively"
+/// measures) versus expiring unmapped in the batch queue before any slot
+/// freed up.
+struct SimCounts {
+  long long completed_on_time = 0;
+  long long completed_late = 0;
+  long long dropped_reactive_queued = 0;
+  long long dropped_proactive = 0;
+  long long expired_unmapped = 0;
+  long long lost_to_failure = 0;
+  /// Approximate-computing extension: of completed_on_time, how many ran in
+  /// approximate (degraded-quality) mode.
+  long long approx_on_time = 0;
+
+  long long total() const {
+    return completed_on_time + completed_late + dropped_reactive_queued +
+           dropped_proactive + expired_unmapped + lost_to_failure;
+  }
+  /// Drops within machine queues (reactive + proactive).
+  long long dropped_in_queue() const {
+    return dropped_reactive_queued + dropped_proactive;
+  }
+};
+
+/// Everything a simulation run produces. `tasks` is in arrival order (the
+/// trace order), which is what the paper's warm-up/cool-down exclusion is
+/// defined over: "the first and last 100 tasks in each workload trial are
+/// excluded from the results" (section V-A).
+struct SimResult {
+  std::vector<Task> tasks;
+  /// Cumulative executing time per machine (cost model input).
+  std::vector<Tick> busy_ticks;
+  /// Machine type of each machine (cost model input).
+  std::vector<MachineTypeId> machine_types;
+  Tick makespan = 0;
+  long long mapping_events = 0;
+  long long dropper_invocations = 0;
+
+  SimCounts counts() const { return counts_in_window(0, 0); }
+
+  /// Tallies over tasks[exclude_head, size - exclude_tail). Exclusions are
+  /// clamped when the trace is shorter than the excluded window.
+  SimCounts counts_in_window(int exclude_head, int exclude_tail) const;
+
+  /// The paper's robustness metric: percentage of (counted) tasks that
+  /// completed strictly before their deadlines.
+  double robustness_pct(int exclude_head = 100, int exclude_tail = 100) const;
+
+  /// Approximate-computing extension metric: like robustness, but an
+  /// on-time *approximate* completion contributes only `approx_weight`
+  /// (full-quality completions contribute 1).
+  double utility_pct(double approx_weight, int exclude_head = 100,
+                     int exclude_tail = 100) const;
+
+  /// Section V-F's metric: of the drops that happened inside machine
+  /// queues, the percentage that were reactive (deadline already missed)
+  /// rather than proactive. 0 when nothing was dropped from a queue.
+  double reactive_drop_share_pct(int exclude_head = 100,
+                                 int exclude_tail = 100) const;
+};
+
+}  // namespace taskdrop

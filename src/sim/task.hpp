@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string_view>
+
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Lifecycle of a task in the simulated HC system.
+///
+/// Tasks are independent, sequential, non-preemptible and carry individual
+/// hard deadlines (section III). A task ends in exactly one of the four
+/// terminal states.
+enum class TaskState {
+  Unmapped,          ///< in the batch queue, not yet assigned to a machine
+  Queued,            ///< waiting in a machine queue
+  Running,           ///< executing on a machine
+  CompletedOnTime,   ///< finished strictly before its deadline (success)
+  CompletedLate,     ///< started before but finished at/after its deadline
+  DroppedReactive,   ///< discarded because it could not start before its
+                     ///< deadline (reactive dropping, section IV-B)
+  DroppedProactive,  ///< discarded ahead of time by a dropping mechanism
+  LostToFailure,     ///< was executing when its machine failed (failure-
+                     ///< injection extension; see EngineConfig::failures)
+};
+
+constexpr bool is_terminal(TaskState s) {
+  return s == TaskState::CompletedOnTime || s == TaskState::CompletedLate ||
+         s == TaskState::DroppedReactive || s == TaskState::DroppedProactive ||
+         s == TaskState::LostToFailure;
+}
+
+std::string_view to_string(TaskState s);
+
+/// One task instance flowing through the system.
+struct Task {
+  TaskId id = -1;
+  TaskTypeId type = -1;
+  Tick arrival = 0;
+  Tick deadline = 0;  ///< hard individual deadline delta_i
+
+  TaskState state = TaskState::Unmapped;
+  /// Approximate-computing extension: when true the task runs (and is
+  /// modelled) with the time-scaled approximate execution PMF and yields
+  /// partial utility on success (see ApproxDropper).
+  bool approximate = false;
+  MachineId machine = -1;         ///< assigned machine, -1 while unmapped
+  Tick start_time = kNeverTick;   ///< execution start
+  Tick finish_time = kNeverTick;  ///< execution end (completions only)
+  Tick drop_time = kNeverTick;    ///< drop instant (drops only)
+  Tick actual_execution = 0;      ///< ground-truth duration, sampled at start
+
+  bool succeeded() const { return state == TaskState::CompletedOnTime; }
+};
+
+inline std::string_view to_string(TaskState s) {
+  switch (s) {
+    case TaskState::Unmapped: return "unmapped";
+    case TaskState::Queued: return "queued";
+    case TaskState::Running: return "running";
+    case TaskState::CompletedOnTime: return "completed_on_time";
+    case TaskState::CompletedLate: return "completed_late";
+    case TaskState::DroppedReactive: return "dropped_reactive";
+    case TaskState::DroppedProactive: return "dropped_proactive";
+    case TaskState::LostToFailure: return "lost_to_failure";
+  }
+  return "?";
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace taskdrop {
+
+/// Tiny command-line flag parser for the bench and example binaries.
+///
+/// Accepted syntax: `--key=value` and bare `--switch` (value "1"). Anything
+/// else is ignored, which lets google-benchmark flags coexist in the same
+/// argv. The environment variable REPRO_FULL=1 is folded in as `--full`,
+/// so `for b in build/bench/*; do $b; done` can be scaled up globally.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace taskdrop

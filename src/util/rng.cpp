@@ -1,0 +1,73 @@
+#include "util/rng.hpp"
+
+namespace taskdrop {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Unbiased rejection sampling (Lemire-style threshold).
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % span;
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::gamma(double shape, double scale) {
+  std::gamma_distribution<double> dist(shape, scale);
+  return dist(*this);
+}
+
+double Rng::exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(*this);
+}
+
+Rng Rng::derive(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t sm = seed;
+  const std::uint64_t a = splitmix64(sm);
+  sm ^= stream * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL;
+  const std::uint64_t b = splitmix64(sm);
+  return Rng(a ^ rotl(b, 31) ^ stream);
+}
+
+}  // namespace taskdrop

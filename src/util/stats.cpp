@@ -1,0 +1,53 @@
+#include "util/stats.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace taskdrop {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double sample_stddev(const std::vector<double>& xs) {
+  RunningStats acc;
+  for (double x : xs) acc.add(x);
+  return acc.stddev();
+}
+
+double t_critical_95(std::size_t df) {
+  // Two-sided 95 % quantiles of the Student-t distribution, df = 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= kTable.size()) return kTable[df - 1];
+  return 1.96;  // normal limit
+}
+
+double ci95_halfwidth(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double s = sample_stddev(xs);
+  const double t = t_critical_95(xs.size() - 1);
+  return t * s / std::sqrt(static_cast<double>(xs.size()));
+}
+
+}  // namespace taskdrop

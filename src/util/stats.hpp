@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace taskdrop {
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Used to
+/// aggregate per-trial metrics without storing every sample when the trial
+/// count is large.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Mean of a sample; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation; 0 for fewer than two samples.
+double sample_stddev(const std::vector<double>& xs);
+
+/// Two-sided Student-t critical value at 95 % confidence for the given
+/// degrees of freedom (exact table for df <= 30, normal limit beyond).
+double t_critical_95(std::size_t degrees_of_freedom);
+
+/// Half-width of the 95 % confidence interval on the mean of `xs`
+/// (t_crit * s / sqrt(n)); 0 for fewer than two samples. This is the
+/// error-bar quantity the paper reports ("the mean and 95 % confidence
+/// interval are reported", section V-A).
+double ci95_halfwidth(const std::vector<double>& xs);
+
+}  // namespace taskdrop

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace taskdrop {
+
+/// Fixed-size thread pool used by the experiment harness to run independent
+/// simulation trials concurrently.
+///
+/// Design notes (deliberately minimal for an HPC-batch use case):
+///  * Jobs are type-erased std::function<void()> closures; results are
+///    written into caller-owned slots indexed by trial, so reduction order
+///    is deterministic regardless of scheduling.
+///  * No futures/exceptions plumbing: a job that throws would terminate the
+///    process, so jobs are required to be noexcept in spirit; the experiment
+///    runner wraps trial bodies accordingly.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding jobs, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a job for asynchronous execution.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished executing.
+  void wait_idle();
+
+  /// Runs body(i) for i in [0, count) across the pool and waits for all of
+  /// them. `body` must be safe to invoke concurrently for distinct i.
+  static void parallel_for(std::size_t count,
+                           const std::function<void(std::size_t)>& body,
+                           std::size_t threads = 0);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> jobs_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace taskdrop

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace taskdrop {
+
+/// Simulated time is an integer tick; one tick corresponds to one
+/// millisecond at the paper's scale (task-type mean execution times range
+/// from 50 to 200 ms). All PMFs, deadlines and event timestamps share this
+/// unit, so there is never a unit conversion inside the library.
+using Tick = std::int64_t;
+
+/// Sentinel for "no time" / "never".
+inline constexpr Tick kNeverTick = std::numeric_limits<Tick>::max();
+
+/// Identifier types. They are plain integers rather than strong types so the
+/// hot simulation loop stays branch- and wrapper-free, but every API names
+/// its parameters so call sites stay readable.
+using TaskId = std::int64_t;
+using TaskTypeId = int;
+using MachineId = int;
+using MachineTypeId = int;
+
+}  // namespace taskdrop

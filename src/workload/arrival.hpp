@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Shape of the task arrival process. Arrival uncertainty is one of the two
+/// compound uncertainties the paper targets; the generator realises it as a
+/// stochastic arrival process whose *mean* rate sets the oversubscription
+/// level.
+enum class ArrivalPattern {
+  /// Poisson process: i.i.d. exponential inter-arrival times.
+  Poisson,
+  /// Alternating high-/low-rate phases (1.5x and 0.5x the mean rate, so the
+  /// time-averaged rate is unchanged) of roughly 250 mean-inter-arrival
+  /// lengths each — a spiky arrival stream that stresses the dropper harder
+  /// than Poisson at the same mean rate.
+  Bursty,
+};
+
+/// Generates `n` non-decreasing arrival ticks starting after tick 0, with
+/// mean rate `rate_per_tick` (tasks per tick).
+std::vector<Tick> generate_arrivals(Rng& rng, int n, double rate_per_tick,
+                                    ArrivalPattern pattern);
+
+}  // namespace taskdrop

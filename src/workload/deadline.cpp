@@ -1,0 +1,15 @@
+#include "workload/deadline.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace taskdrop {
+
+Tick assign_deadline(Tick arrival, double task_type_mean, double grand_mean,
+                     double gamma) {
+  assert(task_type_mean > 0.0 && grand_mean > 0.0 && gamma >= 0.0);
+  const double slack = task_type_mean + gamma * grand_mean;
+  return arrival + static_cast<Tick>(std::llround(slack));
+}
+
+}  // namespace taskdrop

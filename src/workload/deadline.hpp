@@ -1,0 +1,19 @@
+#pragma once
+
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// The paper's deadline rule (section V-A):
+///
+///     delta_i = arr_i + avg_i + gamma * avg_all
+///
+/// where avg_i is the mean execution time of the task's type (across
+/// machine types), avg_all the grand mean over all task types, and gamma a
+/// slack coefficient. Every task is individually feasible (its deadline
+/// leaves room for at least its own average execution), but under
+/// oversubscription not all tasks can make it.
+Tick assign_deadline(Tick arrival, double task_type_mean, double grand_mean,
+                     double gamma);
+
+}  // namespace taskdrop

@@ -1,0 +1,37 @@
+#include "workload/generator.hpp"
+
+#include <cassert>
+
+#include "workload/deadline.hpp"
+
+namespace taskdrop {
+
+Trace generate_trace(const PetMatrix& pet, std::size_t machine_count,
+                     const WorkloadConfig& config) {
+  assert(machine_count > 0);
+  assert(config.n_tasks >= 0);
+  assert(config.oversubscription > 0.0);
+
+  Rng arrival_rng = Rng::derive(config.seed, 0xA221);
+  Rng type_rng = Rng::derive(config.seed, 0x7139);
+
+  const double service_rate =
+      static_cast<double>(machine_count) / pet.mean_overall();
+  const double arrival_rate = config.oversubscription * service_rate;
+  const auto arrivals = generate_arrivals(arrival_rng, config.n_tasks,
+                                          arrival_rate, config.pattern);
+
+  Trace trace;
+  trace.reserve(arrivals.size());
+  for (const Tick arrival : arrivals) {
+    const auto type = static_cast<TaskTypeId>(
+        type_rng.uniform_int(0, pet.task_type_count() - 1));
+    const Tick deadline =
+        assign_deadline(arrival, pet.mean_over_machines(type),
+                        pet.mean_overall(), config.gamma);
+    trace.push_back(TaskSpec{type, arrival, deadline});
+  }
+  return trace;
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,30 @@
+#include "workload/scenario.hpp"
+
+#include <stdexcept>
+
+namespace taskdrop {
+
+std::string_view to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::SpecHC: return "spec_hc";
+    case ScenarioKind::Video: return "video";
+    case ScenarioKind::Homogeneous: return "homogeneous";
+  }
+  return "?";
+}
+
+Scenario make_scenario(ScenarioKind kind, std::uint64_t seed,
+                       const PetBuildOptions& options) {
+  SystemProfile profile;
+  switch (kind) {
+    case ScenarioKind::SpecHC: profile = spec_hc_profile(); break;
+    case ScenarioKind::Video: profile = video_profile(); break;
+    case ScenarioKind::Homogeneous: profile = homogeneous_profile(); break;
+    default: throw std::invalid_argument("unknown scenario kind");
+  }
+  Rng rng = Rng::derive(seed, 0x9e7);
+  PetMatrix pet = build_pet_from_means(profile.mean_execution_ms, rng, options);
+  return Scenario{std::move(profile), std::move(pet)};
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "pet/pet_builder.hpp"
+#include "pet/pet_matrix.hpp"
+#include "pet/profiles.hpp"
+
+namespace taskdrop {
+
+/// The evaluation scenarios of section V.
+enum class ScenarioKind {
+  SpecHC,       ///< SPECint-like 12 task types x 8 machine types (V-A)
+  Video,        ///< video transcoding, 4 task types x 4 VM types (V-H)
+  Homogeneous,  ///< identical machines control system (Fig. 7b)
+};
+
+std::string_view to_string(ScenarioKind kind);
+
+/// A fully materialised scenario: the machine fleet description plus a
+/// frozen PET matrix built with the paper's Gamma/histogram recipe. The
+/// seed pins the PET sampling; one scenario is shared read-only by all
+/// trials of an experiment.
+struct Scenario {
+  SystemProfile profile;
+  PetMatrix pet;
+
+  std::size_t machine_count() const { return profile.machine_types.size(); }
+};
+
+Scenario make_scenario(ScenarioKind kind, std::uint64_t seed,
+                       const PetBuildOptions& options = {});
+
+}  // namespace taskdrop

@@ -1,0 +1,16 @@
+#include "workload/trace.hpp"
+
+namespace taskdrop {
+
+bool validate_trace(const Trace& trace, int task_types) {
+  Tick prev = 0;
+  for (const TaskSpec& spec : trace) {
+    if (spec.type < 0 || spec.type >= task_types) return false;
+    if (spec.arrival < prev) return false;
+    if (spec.deadline <= spec.arrival) return false;
+    prev = spec.arrival;
+  }
+  return true;
+}
+
+}  // namespace taskdrop

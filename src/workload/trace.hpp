@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// One task request of a workload trial.
+struct TaskSpec {
+  TaskTypeId type = 0;
+  Tick arrival = 0;
+  Tick deadline = 0;
+};
+
+/// A workload trial: task specs sorted by arrival time.
+using Trace = std::vector<TaskSpec>;
+
+/// True when arrivals are non-decreasing, deadlines are after arrivals and
+/// task types are in [0, task_types).
+bool validate_trace(const Trace& trace, int task_types);
+
+}  // namespace taskdrop

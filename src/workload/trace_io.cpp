@@ -1,0 +1,69 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace taskdrop {
+
+void write_trace_csv(std::ostream& os, const Trace& trace) {
+  os << "type,arrival,deadline\n";
+  for (const TaskSpec& spec : trace) {
+    os << spec.type << ',' << spec.arrival << ',' << spec.deadline << '\n';
+  }
+}
+
+void write_trace_csv_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_trace_csv(os, trace);
+}
+
+Trace read_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "type,arrival,deadline") {
+    throw std::runtime_error("trace CSV: missing or wrong header");
+  }
+  Trace trace;
+  Tick prev_arrival = 0;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    TaskSpec spec;
+    char comma1 = 0, comma2 = 0;
+    long long type = 0, arrival = 0, deadline = 0;
+    if (!(row >> type >> comma1 >> arrival >> comma2 >> deadline) ||
+        comma1 != ',' || comma2 != ',') {
+      throw std::runtime_error("trace CSV: malformed row at line " +
+                               std::to_string(line_no));
+    }
+    spec.type = static_cast<TaskTypeId>(type);
+    spec.arrival = arrival;
+    spec.deadline = deadline;
+    if (spec.type < 0) {
+      throw std::runtime_error("trace CSV: negative task type at line " +
+                               std::to_string(line_no));
+    }
+    if (spec.arrival < prev_arrival) {
+      throw std::runtime_error("trace CSV: arrivals not sorted at line " +
+                               std::to_string(line_no));
+    }
+    if (spec.deadline <= spec.arrival) {
+      throw std::runtime_error("trace CSV: deadline at/before arrival at line " +
+                               std::to_string(line_no));
+    }
+    prev_arrival = spec.arrival;
+    trace.push_back(spec);
+  }
+  return trace;
+}
+
+Trace read_trace_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_trace_csv(is);
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace taskdrop {
+
+/// CSV persistence for workload traces, so synthetic trials can be archived
+/// and real traces (e.g. measured video-transcoding request logs) can be
+/// fed to the simulator.
+///
+/// Format: a header line `type,arrival,deadline` followed by one data row
+/// per task. Parsing is strict: malformed rows, non-monotonic arrivals or
+/// deadlines at/before arrival raise std::runtime_error.
+void write_trace_csv(std::ostream& os, const Trace& trace);
+void write_trace_csv_file(const std::string& path, const Trace& trace);
+
+Trace read_trace_csv(std::istream& is);
+Trace read_trace_csv_file(const std::string& path);
+
+}  // namespace taskdrop

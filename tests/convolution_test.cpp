@@ -1,0 +1,175 @@
+#include "prob/convolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace taskdrop {
+namespace {
+
+using test::pmf_of;
+
+void expect_pmf_near(const Pmf& actual, const Pmf& expected,
+                     double tolerance = 1e-12) {
+  ASSERT_EQ(actual.empty(), expected.empty());
+  if (expected.empty()) return;
+  for (Tick t = std::min(actual.min_time(), expected.min_time());
+       t <= std::max(actual.max_time(), expected.max_time()); ++t) {
+    EXPECT_NEAR(actual.prob_at(t), expected.prob_at(t), tolerance)
+        << "at time " << t;
+  }
+}
+
+// ------------------------- plain convolution -------------------------
+
+TEST(Convolve, WithDeltaIsAShift) {
+  const Pmf exec = pmf_of({{1, 0.6}, {2, 0.4}});
+  const Pmf shifted = convolve(Pmf::delta(10), exec);
+  expect_pmf_near(shifted, pmf_of({{11, 0.6}, {12, 0.4}}));
+}
+
+TEST(Convolve, IsCommutative) {
+  const Pmf a = pmf_of({{1, 0.3}, {3, 0.7}});
+  const Pmf b = pmf_of({{2, 0.5}, {4, 0.25}, {6, 0.25}});
+  expect_pmf_near(convolve(a, b), convolve(b, a));
+}
+
+TEST(Convolve, ConservesMassAndAddsMeans) {
+  const Pmf a = pmf_of({{1, 0.25}, {2, 0.5}, {4, 0.25}});
+  const Pmf b = pmf_of({{3, 0.5}, {5, 0.5}});
+  const Pmf c = convolve(a, b);
+  EXPECT_NEAR(c.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(c.mean(), a.mean() + b.mean(), 1e-9);
+  EXPECT_EQ(c.min_time(), a.min_time() + b.min_time());
+  EXPECT_EQ(c.max_time(), a.max_time() + b.max_time());
+}
+
+TEST(Convolve, EmptyInputYieldsEmpty) {
+  const Pmf a = pmf_of({{1, 1.0}});
+  EXPECT_TRUE(convolve(a, Pmf()).empty());
+  EXPECT_TRUE(convolve(Pmf(), a).empty());
+}
+
+TEST(Convolve, HandComputedExample) {
+  const Pmf a = pmf_of({{0, 0.5}, {1, 0.5}});
+  const Pmf b = pmf_of({{0, 0.5}, {1, 0.5}});
+  expect_pmf_near(convolve(a, b), pmf_of({{0, 0.25}, {1, 0.5}, {2, 0.25}}));
+}
+
+TEST(Convolve, CoarseStrideStaysOnLattice) {
+  const Pmf a = pmf_of({{10, 0.5}, {15, 0.5}}, 5);
+  const Pmf b = pmf_of({{20, 0.5}, {25, 0.5}}, 5);
+  const Pmf c = convolve(a, b);
+  EXPECT_EQ(c.stride(), 5);
+  expect_pmf_near(c, pmf_of({{30, 0.25}, {35, 0.5}, {40, 0.25}}, 5));
+}
+
+// --------------------- deadline-truncated (Eq. 1) ---------------------
+
+// The worked example of Fig. 2: execution PMF {1: 0.6, 2: 0.4}, predecessor
+// completion {10: 0.6, 11: 0.3, 12: 0.05, 13: 0.05}, deadline 13. The paper
+// shows the result {11: 0.36, 12: 0.42, 13: 0.2, 14: 0.02}.
+TEST(DeadlineConvolve, PaperFigure2WorkedExample) {
+  const Pmf exec = pmf_of({{1, 0.6}, {2, 0.4}});
+  const Pmf pred = pmf_of({{10, 0.6}, {11, 0.3}, {12, 0.05}, {13, 0.05}});
+  const Pmf completion = deadline_convolve(pred, exec, /*deadline=*/13);
+  expect_pmf_near(completion,
+                  pmf_of({{11, 0.36}, {12, 0.42}, {13, 0.2}, {14, 0.02}}));
+  // And Eq. 2's chance of success (mass strictly before the deadline).
+  EXPECT_NEAR(chance_of_success(completion, 13), 0.78, 1e-12);
+}
+
+TEST(DeadlineConvolve, NoTruncationEqualsPlainConvolve) {
+  const Pmf exec = pmf_of({{1, 0.6}, {2, 0.4}});
+  const Pmf pred = pmf_of({{10, 0.5}, {11, 0.5}});
+  // Deadline far beyond any start time: the task always starts.
+  expect_pmf_near(deadline_convolve(pred, exec, 1000), convolve(pred, exec));
+}
+
+TEST(DeadlineConvolve, CertainDropPassesPredecessorThrough) {
+  const Pmf exec = pmf_of({{5, 1.0}});
+  const Pmf pred = pmf_of({{10, 0.5}, {12, 0.5}});
+  // Deadline at or before every predecessor completion: never starts.
+  expect_pmf_near(deadline_convolve(pred, exec, 10), pred);
+  expect_pmf_near(deadline_convolve(pred, exec, 5), pred);
+}
+
+TEST(DeadlineConvolve, MixedCaseSplitsAtDeadline) {
+  const Pmf exec = pmf_of({{2, 1.0}});
+  const Pmf pred = pmf_of({{9, 0.5}, {11, 0.5}});
+  // Start at 9 (allowed, < 10) finishes at 11; start at 11 is dropped and
+  // the slot completes when the predecessor did (11).
+  const Pmf completion = deadline_convolve(pred, exec, 10);
+  expect_pmf_near(completion, pmf_of({{11, 1.0}}));
+  EXPECT_NEAR(chance_of_success(completion, 10), 0.0, 1e-12);
+}
+
+TEST(DeadlineConvolve, AlwaysConservesMass) {
+  const Pmf exec = pmf_of({{1, 0.25}, {2, 0.5}, {3, 0.25}});
+  const Pmf pred = pmf_of({{5, 0.2}, {7, 0.3}, {9, 0.3}, {12, 0.2}});
+  for (Tick deadline = 4; deadline <= 14; ++deadline) {
+    const Pmf completion = deadline_convolve(pred, exec, deadline);
+    EXPECT_NEAR(completion.total_mass(), 1.0, 1e-12)
+        << "deadline " << deadline;
+  }
+}
+
+TEST(DeadlineConvolve, EmptyPredecessorYieldsEmpty) {
+  const Pmf exec = pmf_of({{1, 1.0}});
+  EXPECT_TRUE(deadline_convolve(Pmf(), exec, 10).empty());
+}
+
+TEST(DeadlineConvolve, DeltaPredecessorActsAsStartTime) {
+  const Pmf exec = pmf_of({{1, 0.6}, {2, 0.4}});
+  // Machine free at 5, deadline 7: the task starts at 5 for sure.
+  expect_pmf_near(deadline_convolve(Pmf::delta(5), exec, 7),
+                  pmf_of({{6, 0.6}, {7, 0.4}}));
+  // Machine free at 8, deadline 7: dropped for sure.
+  expect_pmf_near(deadline_convolve(Pmf::delta(8), exec, 7), Pmf::delta(8));
+}
+
+TEST(DeadlineConvolve, CoarseLatticeMixedCase) {
+  const Pmf exec = pmf_of({{5, 0.5}, {10, 0.5}}, 5);
+  const Pmf pred = pmf_of({{10, 0.5}, {20, 0.5}}, 5);
+  // Deadline 15: start at 10 allowed, start at 20 dropped (pass-through).
+  const Pmf completion = deadline_convolve(pred, exec, 15);
+  expect_pmf_near(completion, pmf_of({{15, 0.25}, {20, 0.75}}, 5));
+  EXPECT_EQ(completion.stride(), 5);
+}
+
+// Chance of success through chains: chaining Eq. 1 over a queue conserves
+// mass at every link regardless of deadlines (property sweep).
+class DeadlineChainTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeadlineChainTest, ChainedMassConservation) {
+  Rng rng(GetParam());
+  // Random proper exec PMF on stride 1.
+  auto random_pmf = [&rng](Tick lo) {
+    std::vector<std::pair<Tick, double>> impulses;
+    const int n = static_cast<int>(rng.uniform_int(1, 6));
+    for (int i = 0; i < n; ++i) {
+      impulses.emplace_back(lo + rng.uniform_int(0, 10),
+                            rng.uniform(0.1, 1.0));
+    }
+    Pmf pmf = Pmf::from_impulses(std::move(impulses));
+    pmf.normalize();
+    return pmf;
+  };
+  Pmf chain = Pmf::delta(rng.uniform_int(0, 5));
+  for (int link = 0; link < 6; ++link) {
+    const Pmf exec = random_pmf(1);
+    const Tick deadline = chain.min_time() + rng.uniform_int(0, 15);
+    chain = deadline_convolve(chain, exec, deadline);
+    ASSERT_NEAR(chain.total_mass(), 1.0, 1e-9) << "link " << link;
+    const double chance = chance_of_success(chain, deadline);
+    ASSERT_GE(chance, -1e-12);
+    ASSERT_LE(chance, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, DeadlineChainTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+#include "metrics/aggregate.hpp"
+#include "metrics/report.hpp"
+#include "util/stats.hpp"
+
+namespace taskdrop {
+namespace {
+
+/// Builds a SimResult by hand: n tasks in the given states, one machine of
+/// each listed type with the given busy times.
+SimResult make_result(const std::vector<TaskState>& states,
+                      std::vector<Tick> busy,
+                      std::vector<MachineTypeId> types) {
+  SimResult result;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    task.state = states[i];
+    // Mark queue-level drops as mapped; batch expiries stay machine = -1.
+    if (states[i] != TaskState::DroppedReactive || i % 2 == 0) {
+      task.machine = 0;
+    }
+    result.tasks.push_back(task);
+  }
+  result.busy_ticks = std::move(busy);
+  result.machine_types = std::move(types);
+  return result;
+}
+
+TEST(CostModel, TotalCostIsBusyTimeTimesRate) {
+  // 2 machines: type 0 at $3.6/h, type 1 at $7.2/h. One hour = 3.6e6 ticks.
+  const CostModel model({3.6, 7.2});
+  SimResult result = make_result({}, {3600000, 1800000}, {0, 1});
+  // 1 h * 3.6 + 0.5 h * 7.2 = 7.2 dollars.
+  EXPECT_NEAR(model.total_cost(result), 7.2, 1e-9);
+  EXPECT_DOUBLE_EQ(model.rate(1), 7.2);
+}
+
+TEST(CostModel, CostPerRobustnessNormalisesByOnTimeFraction) {
+  const CostModel model({3.6});
+  // 4 tasks, 2 on time -> robustness 50 %.
+  SimResult result = make_result(
+      {TaskState::CompletedOnTime, TaskState::CompletedOnTime,
+       TaskState::CompletedLate, TaskState::CompletedLate},
+      {3600000}, {0});
+  EXPECT_NEAR(result.robustness_pct(0, 0), 50.0, 1e-12);
+  EXPECT_NEAR(model.cost_per_robustness(result, 0, 0), 3.6 / 0.5, 1e-9);
+}
+
+TEST(CostModel, ZeroRobustnessYieldsZeroNormalisedCost) {
+  const CostModel model({1.0});
+  SimResult result =
+      make_result({TaskState::CompletedLate}, {1000}, {0});
+  EXPECT_DOUBLE_EQ(model.cost_per_robustness(result, 0, 0), 0.0);
+}
+
+TEST(SimResult, WindowExclusionClampsWhenTraceIsShort) {
+  SimResult result = make_result(
+      {TaskState::CompletedOnTime, TaskState::CompletedLate}, {0}, {0});
+  // 100+100 exclusion on 2 tasks: fall back to the whole trace.
+  EXPECT_NEAR(result.robustness_pct(100, 100), 50.0, 1e-12);
+}
+
+TEST(SimResult, WindowExclusionDropsHeadAndTail) {
+  std::vector<TaskState> states(10, TaskState::CompletedLate);
+  states[0] = TaskState::CompletedOnTime;   // excluded head
+  states[9] = TaskState::CompletedOnTime;   // excluded tail
+  states[5] = TaskState::CompletedOnTime;   // counted
+  SimResult result = make_result(states, {0}, {0});
+  // Window = tasks 1..8 (8 tasks), one on time.
+  EXPECT_NEAR(result.robustness_pct(1, 1), 100.0 / 8.0, 1e-12);
+}
+
+TEST(SimResult, ReactiveShareCountsQueueDropsOnly) {
+  // Indices: 0 queue-reactive (machine 0), 1 batch expiry (machine -1),
+  // 2 proactive, 3 on-time.
+  SimResult result = make_result(
+      {TaskState::DroppedReactive, TaskState::DroppedReactive,
+       TaskState::DroppedProactive, TaskState::CompletedOnTime},
+      {0}, {0});
+  const SimCounts counts = result.counts();
+  EXPECT_EQ(counts.dropped_reactive_queued, 1);
+  EXPECT_EQ(counts.expired_unmapped, 1);
+  EXPECT_EQ(counts.dropped_proactive, 1);
+  // Of the 2 queue-level drops, 1 was reactive.
+  EXPECT_NEAR(result.reactive_drop_share_pct(0, 0), 50.0, 1e-12);
+}
+
+TEST(SimResult, ReactiveShareZeroWhenNoQueueDrops) {
+  SimResult result = make_result({TaskState::CompletedOnTime}, {0}, {0});
+  EXPECT_DOUBLE_EQ(result.reactive_drop_share_pct(0, 0), 0.0);
+}
+
+TEST(Aggregate, TrialMetricsExtractEverything) {
+  const CostModel model({3.6});
+  SimResult result = make_result(
+      {TaskState::CompletedOnTime, TaskState::DroppedProactive},
+      {3600000}, {0});
+  const TrialMetrics metrics = compute_trial_metrics(result, model, 0, 0);
+  EXPECT_NEAR(metrics.robustness_pct, 50.0, 1e-12);
+  EXPECT_NEAR(metrics.total_cost, 3.6, 1e-9);
+  EXPECT_NEAR(metrics.normalized_cost, 7.2, 1e-9);
+  EXPECT_EQ(metrics.completed_on_time, 1);
+  EXPECT_EQ(metrics.dropped_proactive, 1);
+}
+
+TEST(Aggregate, SummarizeMatchesStats) {
+  const std::vector<double> xs = {40.0, 42.0, 44.0, 46.0};
+  const Summary summary = summarize(xs);
+  EXPECT_NEAR(summary.mean, mean(xs), 1e-12);
+  EXPECT_NEAR(summary.ci95, ci95_halfwidth(xs), 1e-12);
+}
+
+TEST(Aggregate, SeriesExtractsField) {
+  std::vector<TrialMetrics> trials(3);
+  trials[0].robustness_pct = 1.0;
+  trials[1].robustness_pct = 2.0;
+  trials[2].robustness_pct = 3.0;
+  const std::vector<double> xs = series(trials, &TrialMetrics::robustness_pct);
+  EXPECT_EQ(xs, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Report, FormatSummary) {
+  EXPECT_EQ(format_summary(Summary{42.5, 1.25}, 2), "42.50 +/- 1.25");
+}
+
+TEST(Report, AddSummaryRow) {
+  Table table({"label", "mean", "ci95"});
+  add_summary_row(table, "PAM", Summary{46.0, 1.5});
+  ASSERT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.rows()[0][0], "PAM");
+  EXPECT_EQ(table.rows()[0][1], "46.00");
+  EXPECT_EQ(table.rows()[0][2], "1.50");
+}
+
+}  // namespace
+}  // namespace taskdrop

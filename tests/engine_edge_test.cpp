@@ -1,0 +1,175 @@
+// Edge-case behaviour of the discrete-event engine: degenerate capacities,
+// simultaneous events, single-machine systems, conditioning.
+#include <gtest/gtest.h>
+
+#include "core/null_dropper.hpp"
+#include "core/proactive_heuristic_dropper.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace taskdrop {
+namespace {
+
+using test::pet_of;
+
+PetMatrix deterministic_pet() { return pet_of({{{{5, 1.0}}}}); }
+
+SimResult run_simple(const PetMatrix& pet, const Trace& trace,
+                     std::vector<MachineTypeId> machines, int capacity,
+                     EngineConfig config = EngineConfig{}) {
+  auto mapper = make_mapper("FCFS");
+  NullDropper dropper;
+  config.queue_capacity = capacity;
+  Engine engine(pet, std::move(machines), *mapper, dropper, config);
+  return engine.run(trace);
+}
+
+TEST(EngineEdge, CapacityOneSerialisesEverything) {
+  const PetMatrix pet = deterministic_pet();
+  Trace trace;
+  for (int i = 0; i < 5; ++i) trace.push_back(TaskSpec{0, 0, 1000});
+  const SimResult result = run_simple(pet, trace, {0}, 1);
+  EXPECT_EQ(result.counts().completed_on_time, 5);
+  // With capacity 1 a task is only mapped when the machine is idle; each
+  // runs back-to-back.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(result.tasks[static_cast<std::size_t>(i)].finish_time,
+              5 * (i + 1));
+  }
+}
+
+TEST(EngineEdge, SimultaneousArrivalsKeepTraceOrderUnderFcfs) {
+  const PetMatrix pet = deterministic_pet();
+  Trace trace;
+  for (int i = 0; i < 6; ++i) trace.push_back(TaskSpec{0, 7, 1000});
+  const SimResult result = run_simple(pet, trace, {0}, 6);
+  // All six arrive at tick 7 and run in trace order.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(result.tasks[static_cast<std::size_t>(i)].start_time,
+              7 + 5 * i);
+  }
+}
+
+TEST(EngineEdge, ManyMachinesRunInParallel) {
+  const PetMatrix pet = deterministic_pet();
+  Trace trace;
+  for (int i = 0; i < 4; ++i) trace.push_back(TaskSpec{0, 0, 1000});
+  const SimResult result = run_simple(pet, trace, {0, 0, 0, 0}, 6);
+  for (const Task& task : result.tasks) {
+    EXPECT_EQ(task.start_time, 0);
+    EXPECT_EQ(task.finish_time, 5);
+  }
+  EXPECT_EQ(result.makespan, 5);
+}
+
+TEST(EngineEdge, ZeroSlackTaskIsDroppedNotStarted) {
+  const PetMatrix pet = deterministic_pet();
+  // Deadline = arrival + 1 is startable; deadline == arrival would be
+  // invalid per the trace contract, so probe the tightest legal case.
+  const Trace trace = {{0, 10, 11}};
+  const SimResult result = run_simple(pet, trace, {0}, 2);
+  // Starts at 10 (< 11), finishes at 15 >= 11: late, not dropped.
+  EXPECT_EQ(result.tasks[0].state, TaskState::CompletedLate);
+}
+
+TEST(EngineEdge, ConditioningChangesModelNotOutcome) {
+  // With deterministic executions, conditioning the running PMF must not
+  // change any ground-truth outcome (it only refines scheduler beliefs).
+  const PetMatrix pet = deterministic_pet();
+  Trace trace;
+  for (int i = 0; i < 10; ++i) trace.push_back(TaskSpec{0, 2 * i, 40 + i});
+  EngineConfig conditioned;
+  conditioned.condition_running = true;
+  const SimResult a = run_simple(pet, trace, {0}, 3, conditioned);
+  const SimResult b = run_simple(pet, trace, {0}, 3);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].state, b.tasks[i].state) << i;
+  }
+}
+
+TEST(EngineEdge, ConditionedStochasticRunStillConserves) {
+  const Scenario scenario = make_scenario(ScenarioKind::SpecHC, 31);
+  WorkloadConfig workload;
+  workload.n_tasks = 200;
+  workload.oversubscription = 3.0;
+  workload.seed = 31;
+  const Trace trace =
+      generate_trace(scenario.pet, scenario.machine_count(), workload);
+  auto mapper = make_mapper("PAM");
+  ProactiveHeuristicDropper dropper;
+  EngineConfig config;
+  config.condition_running = true;
+  Engine engine(scenario.pet, scenario.profile.machine_types, *mapper, dropper,
+                config);
+  const SimResult result = engine.run(trace);
+  EXPECT_EQ(result.counts().total(), 200);
+}
+
+TEST(EngineEdge, HugeQueueCapacityStillDrains) {
+  const Scenario scenario = make_scenario(ScenarioKind::SpecHC, 32);
+  WorkloadConfig workload;
+  workload.n_tasks = 200;
+  workload.oversubscription = 2.0;
+  workload.seed = 32;
+  const Trace trace =
+      generate_trace(scenario.pet, scenario.machine_count(), workload);
+  auto mapper = make_mapper("MM");
+  ProactiveHeuristicDropper dropper;
+  EngineConfig config;
+  config.queue_capacity = 64;
+  Engine engine(scenario.pet, scenario.profile.machine_types, *mapper, dropper,
+                config);
+  const SimResult result = engine.run(trace);
+  EXPECT_EQ(result.counts().total(), 200);
+}
+
+TEST(EngineEdge, ExtraMappersSurviveOversubscribedRuns) {
+  const Scenario scenario = make_scenario(ScenarioKind::SpecHC, 33);
+  WorkloadConfig workload;
+  workload.n_tasks = 200;
+  workload.oversubscription = 3.0;
+  workload.seed = 33;
+  const Trace trace =
+      generate_trace(scenario.pet, scenario.machine_count(), workload);
+  for (const std::string name : {"MaxMin", "MET", "RR", "PAMD"}) {
+    auto mapper = make_mapper(name);
+    ProactiveHeuristicDropper dropper;
+    Engine engine(scenario.pet, scenario.profile.machine_types, *mapper,
+                  dropper, EngineConfig{});
+    const SimResult result = engine.run(trace);
+    EXPECT_EQ(result.counts().total(), 200) << name;
+    EXPECT_GT(result.counts().completed_on_time, 0) << name;
+  }
+}
+
+TEST(EngineEdge, BurstyArrivalsAreHarderThanPoissonWithoutDropping) {
+  const Scenario scenario = make_scenario(ScenarioKind::SpecHC, 34);
+  auto run_pattern = [&](ArrivalPattern pattern) {
+    double total = 0.0;
+    for (std::uint64_t trial = 0; trial < 4; ++trial) {
+      WorkloadConfig workload;
+      workload.n_tasks = 500;
+      workload.oversubscription = 2.0;
+      workload.pattern = pattern;
+      workload.seed = 34 + trial;
+      const Trace trace =
+          generate_trace(scenario.pet, scenario.machine_count(), workload);
+      auto mapper = make_mapper("MM");
+      NullDropper dropper;
+      Engine engine(scenario.pet, scenario.profile.machine_types, *mapper,
+                    dropper, EngineConfig{});
+      total += engine.run(trace).robustness_pct();
+    }
+    return total / 4.0;
+  };
+  // Bursts concentrate load: robustness should not be better than Poisson.
+  EXPECT_LE(run_pattern(ArrivalPattern::Bursty),
+            run_pattern(ArrivalPattern::Poisson) + 2.0);
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,230 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/null_dropper.hpp"
+#include "core/proactive_heuristic_dropper.hpp"
+#include "sched/registry.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace taskdrop {
+namespace {
+
+using test::pet_of;
+
+/// Deterministic single-type PET: every execution takes exactly 5 ticks.
+PetMatrix deterministic_pet() { return pet_of({{{{5, 1.0}}}}); }
+
+SimResult run_fcfs(const PetMatrix& pet, const Trace& trace,
+                   std::vector<MachineTypeId> machines, int capacity,
+                   Dropper* dropper = nullptr) {
+  auto mapper = make_mapper("FCFS");
+  NullDropper null_dropper;
+  EngineConfig config;
+  config.queue_capacity = capacity;
+  Engine engine(pet, std::move(machines), *mapper,
+                dropper != nullptr ? *dropper : null_dropper, config);
+  return engine.run(trace);
+}
+
+TEST(Engine, DeterministicPipelineOnOneMachine) {
+  const PetMatrix pet = deterministic_pet();
+  const Trace trace = {{0, 0, 1000}, {0, 1, 1000}, {0, 2, 1000}};
+  const SimResult result = run_fcfs(pet, trace, {0}, 2);
+
+  // Task 0 runs [0, 5), task 1 [5, 10). Task 2 does not fit in the 2-slot
+  // queue at arrival; it is mapped when task 0 completes and runs [10, 15).
+  ASSERT_EQ(result.tasks.size(), 3u);
+  EXPECT_EQ(result.tasks[0].start_time, 0);
+  EXPECT_EQ(result.tasks[0].finish_time, 5);
+  EXPECT_EQ(result.tasks[1].finish_time, 10);
+  EXPECT_EQ(result.tasks[2].finish_time, 15);
+  for (const Task& task : result.tasks) {
+    EXPECT_EQ(task.state, TaskState::CompletedOnTime);
+    EXPECT_EQ(task.actual_execution, 5);
+  }
+  EXPECT_EQ(result.makespan, 15);
+  EXPECT_EQ(result.busy_ticks.at(0), 15);
+  const SimCounts counts = result.counts();
+  EXPECT_EQ(counts.completed_on_time, 3);
+  EXPECT_EQ(counts.total(), 3);
+}
+
+TEST(Engine, ClassifiesLateCompletionStrictly) {
+  const PetMatrix pet = deterministic_pet();
+  // Finish at exactly the deadline is late (Eq. 2 counts t < delta only).
+  const Trace trace = {{0, 0, 5}};
+  const SimResult result = run_fcfs(pet, trace, {0}, 2);
+  EXPECT_EQ(result.tasks[0].state, TaskState::CompletedLate);
+
+  const Trace trace_ok = {{0, 0, 6}};
+  const SimResult result_ok = run_fcfs(pet, trace_ok, {0}, 2);
+  EXPECT_EQ(result_ok.tasks[0].state, TaskState::CompletedOnTime);
+}
+
+TEST(Engine, ReactivelyDropsQueuedTaskWhoseDeadlinePassed) {
+  const PetMatrix pet = deterministic_pet();
+  // Task 1 queues behind task 0 but its deadline (4) passes while waiting;
+  // it is reactively dropped from the machine queue.
+  const Trace trace = {{0, 0, 1000}, {0, 1, 4}};
+  const SimResult result = run_fcfs(pet, trace, {0}, 2);
+  EXPECT_EQ(result.tasks[1].state, TaskState::DroppedReactive);
+  EXPECT_EQ(result.tasks[1].machine, 0);  // was mapped -> queue-level drop
+  const SimCounts counts = result.counts();
+  EXPECT_EQ(counts.dropped_reactive_queued, 1);
+  EXPECT_EQ(counts.expired_unmapped, 0);
+}
+
+TEST(Engine, ExpiresUnmappedTaskInBatchQueue) {
+  const PetMatrix pet = deterministic_pet();
+  // Capacity 1: task 1 cannot be mapped while task 0 runs; its deadline
+  // passes in the batch queue.
+  const Trace trace = {{0, 0, 1000}, {0, 1, 4}};
+  const SimResult result = run_fcfs(pet, trace, {0}, 1);
+  EXPECT_EQ(result.tasks[1].state, TaskState::DroppedReactive);
+  EXPECT_EQ(result.tasks[1].machine, -1);  // never mapped
+  const SimCounts counts = result.counts();
+  EXPECT_EQ(counts.expired_unmapped, 1);
+  EXPECT_EQ(counts.dropped_reactive_queued, 0);
+}
+
+TEST(Engine, NeverStartsATaskAtOrPastItsDeadline) {
+  const PetMatrix pet = deterministic_pet();
+  // Task 1's deadline is exactly when the machine frees up (5): it must be
+  // dropped, not started (a task must *begin* before its deadline).
+  const Trace trace = {{0, 0, 1000}, {0, 1, 5}};
+  const SimResult result = run_fcfs(pet, trace, {0}, 2);
+  EXPECT_EQ(result.tasks[1].state, TaskState::DroppedReactive);
+  EXPECT_EQ(result.tasks[1].start_time, kNeverTick);
+}
+
+TEST(Engine, AllTasksReachTerminalStates) {
+  const Scenario scenario = make_scenario(ScenarioKind::SpecHC, 3);
+  WorkloadConfig workload;
+  workload.n_tasks = 400;
+  workload.oversubscription = 3.0;
+  workload.seed = 3;
+  const Trace trace =
+      generate_trace(scenario.pet, scenario.machine_count(), workload);
+  auto mapper = make_mapper("PAM");
+  ProactiveHeuristicDropper dropper;
+  Engine engine(scenario.pet, scenario.profile.machine_types, *mapper, dropper,
+                EngineConfig{});
+  const SimResult result = engine.run(trace);
+  ASSERT_EQ(result.tasks.size(), 400u);
+  for (const Task& task : result.tasks) {
+    EXPECT_TRUE(is_terminal(task.state)) << to_string(task.state);
+  }
+  EXPECT_EQ(result.counts().total(), 400);
+  EXPECT_GT(result.mapping_events, 400);  // arrivals + completions
+}
+
+TEST(Engine, BusyTicksEqualExecutedDurations) {
+  const Scenario scenario = make_scenario(ScenarioKind::SpecHC, 4);
+  WorkloadConfig workload;
+  workload.n_tasks = 200;
+  workload.oversubscription = 2.0;
+  workload.seed = 4;
+  const Trace trace =
+      generate_trace(scenario.pet, scenario.machine_count(), workload);
+  auto mapper = make_mapper("MM");
+  NullDropper dropper;
+  Engine engine(scenario.pet, scenario.profile.machine_types, *mapper, dropper,
+                EngineConfig{});
+  const SimResult result = engine.run(trace);
+
+  std::vector<Tick> executed(result.busy_ticks.size(), 0);
+  for (const Task& task : result.tasks) {
+    if (task.state == TaskState::CompletedOnTime ||
+        task.state == TaskState::CompletedLate) {
+      executed[static_cast<std::size_t>(task.machine)] +=
+          task.actual_execution;
+    }
+  }
+  EXPECT_EQ(result.busy_ticks, executed);
+}
+
+TEST(Engine, RunIsDeterministicAndReusable) {
+  const Scenario scenario = make_scenario(ScenarioKind::SpecHC, 5);
+  WorkloadConfig workload;
+  workload.n_tasks = 300;
+  workload.oversubscription = 3.0;
+  workload.seed = 5;
+  const Trace trace =
+      generate_trace(scenario.pet, scenario.machine_count(), workload);
+  auto mapper = make_mapper("PAM");
+  ProactiveHeuristicDropper dropper;
+  Engine engine(scenario.pet, scenario.profile.machine_types, *mapper, dropper,
+                EngineConfig{});
+  const SimResult first = engine.run(trace);
+  const SimResult second = engine.run(trace);
+  ASSERT_EQ(first.tasks.size(), second.tasks.size());
+  for (std::size_t i = 0; i < first.tasks.size(); ++i) {
+    EXPECT_EQ(first.tasks[i].state, second.tasks[i].state) << i;
+    EXPECT_EQ(first.tasks[i].finish_time, second.tasks[i].finish_time) << i;
+  }
+  EXPECT_EQ(first.makespan, second.makespan);
+}
+
+TEST(Engine, ProactiveDropperRescuesBlockedTasks) {
+  // Types: 0 = 3 ticks, 1 = 10 ticks, 2 = 1 tick. Task 0 runs first; the
+  // doomed type-1 task queues behind it (would finish at 13, deadline 9)
+  // and blocks two 1-tick tasks whose deadlines (6, 7) it would burn.
+  const PetMatrix pet = pet_of({{{{3, 1.0}}}, {{{10, 1.0}}}, {{{1, 1.0}}}});
+  const Trace trace = {{0, 0, 100}, {1, 1, 9}, {2, 1, 6}, {2, 1, 7}};
+
+  auto mapper = make_mapper("FCFS");
+  {
+    NullDropper reactive_only;
+    Engine engine(pet, {0}, *mapper, reactive_only, EngineConfig{});
+    const SimResult result = engine.run(trace);
+    // Only task 0 makes it: the doomed task runs [3, 13) and is late; both
+    // short tasks expire while it hogs the machine.
+    EXPECT_EQ(result.counts().completed_on_time, 1);
+    EXPECT_EQ(result.tasks[1].state, TaskState::CompletedLate);
+  }
+  {
+    ProactiveHeuristicDropper heuristic;
+    Engine engine(pet, {0}, *mapper, heuristic, EngineConfig{});
+    const SimResult result = engine.run(trace);
+    EXPECT_EQ(result.counts().completed_on_time, 3);
+    EXPECT_EQ(result.tasks[1].state, TaskState::DroppedProactive);
+  }
+}
+
+TEST(Engine, EngagementPolicyChangesDropperInvocations) {
+  const Scenario scenario = make_scenario(ScenarioKind::SpecHC, 6);
+  WorkloadConfig workload;
+  workload.n_tasks = 300;
+  workload.oversubscription = 3.0;
+  workload.seed = 6;
+  const Trace trace =
+      generate_trace(scenario.pet, scenario.machine_count(), workload);
+
+  auto run_with = [&](DropperEngagement engagement) {
+    auto mapper = make_mapper("PAM");
+    ProactiveHeuristicDropper dropper;
+    EngineConfig config;
+    config.engagement = engagement;
+    Engine engine(scenario.pet, scenario.profile.machine_types, *mapper,
+                  dropper, config);
+    return engine.run(trace);
+  };
+  const SimResult every = run_with(DropperEngagement::EveryMappingEvent);
+  const SimResult on_miss = run_with(DropperEngagement::OnDeadlineMiss);
+  EXPECT_GT(every.dropper_invocations, on_miss.dropper_invocations);
+  EXPECT_EQ(every.dropper_invocations, every.mapping_events);
+}
+
+TEST(Engine, EmptyTraceYieldsEmptyResult) {
+  const PetMatrix pet = deterministic_pet();
+  const SimResult result = run_fcfs(pet, {}, {0}, 2);
+  EXPECT_TRUE(result.tasks.empty());
+  EXPECT_EQ(result.counts().total(), 0);
+  EXPECT_DOUBLE_EQ(result.robustness_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace taskdrop

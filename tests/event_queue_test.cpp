@@ -1,0 +1,76 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace taskdrop {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.push(30, EventKind::TaskArrival, 1);
+  queue.push(10, EventKind::TaskArrival, 2);
+  queue.push(20, EventKind::TaskCompletion, 3);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pop().time, 10);
+  EXPECT_EQ(queue.pop().time, 20);
+  EXPECT_EQ(queue.pop().time, 30);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  for (std::int64_t payload = 0; payload < 10; ++payload) {
+    queue.push(5, EventKind::TaskArrival, payload);
+  }
+  for (std::int64_t expected = 0; expected < 10; ++expected) {
+    EXPECT_EQ(queue.pop().payload, expected);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue queue;
+  queue.push(10, EventKind::TaskArrival, 1);
+  queue.push(30, EventKind::TaskArrival, 3);
+  EXPECT_EQ(queue.pop().payload, 1);
+  queue.push(20, EventKind::TaskCompletion, 2);
+  EXPECT_EQ(queue.pop().payload, 2);
+  EXPECT_EQ(queue.pop().payload, 3);
+}
+
+TEST(EventQueue, CarriesKindAndPayload) {
+  EventQueue queue;
+  queue.push(7, EventKind::TaskCompletion, 42);
+  const Event event = queue.pop();
+  EXPECT_EQ(event.kind, EventKind::TaskCompletion);
+  EXPECT_EQ(event.payload, 42);
+  EXPECT_EQ(event.time, 7);
+}
+
+TEST(EventQueue, RandomisedOrderingIsTotallyConsistent) {
+  EventQueue queue;
+  Rng rng(17);
+  std::vector<std::pair<Tick, std::uint64_t>> inserted;  // (time, seq)
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const Tick t = rng.uniform_int(0, 50);
+    queue.push(t, EventKind::TaskArrival, static_cast<std::int64_t>(i));
+    inserted.emplace_back(t, i);
+  }
+  Tick prev_time = -1;
+  std::uint64_t prev_seq = 0;
+  bool first = true;
+  while (!queue.empty()) {
+    const Event event = queue.pop();
+    if (!first) {
+      ASSERT_GE(event.time, prev_time);
+      if (event.time == prev_time) ASSERT_GT(event.seq, prev_seq);
+    }
+    prev_time = event.time;
+    prev_seq = event.seq;
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "prob/histogram.hpp"
+#include "prob/sampler.hpp"
+#include "test_util.hpp"
+
+namespace taskdrop {
+namespace {
+
+using test::pmf_of;
+
+// ----------------------------- histogram -----------------------------
+
+TEST(Histogram, BinsSamplesToNearestLatticePoint) {
+  // bin width 5: 12 -> 10, 13 -> 15, 22 -> 20.
+  const Pmf pmf = pmf_from_samples({12.0, 13.0, 22.0, 22.0}, 5);
+  EXPECT_EQ(pmf.stride(), 5);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(10), 0.25);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(15), 0.25);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(20), 0.5);
+  EXPECT_NEAR(pmf.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Histogram, ClampsToAtLeastOneBin) {
+  // Samples near zero land in the first positive bin: execution times are
+  // strictly positive.
+  const Pmf pmf = pmf_from_samples({0.0, 0.4, 1.0}, 5);
+  EXPECT_EQ(pmf.min_time(), 5);
+  EXPECT_NEAR(pmf.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Histogram, OffsetIsLatticeMultiple) {
+  // Required by deadline_convolve's pass-through lattice alignment.
+  const Pmf pmf = pmf_from_samples({103.0, 197.0, 151.0}, 7);
+  EXPECT_EQ(pmf.min_time() % 7, 0);
+  EXPECT_EQ(pmf.stride(), 7);
+}
+
+TEST(Histogram, PreservesMeanApproximately) {
+  std::vector<double> samples;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.gamma(25.0, 5.0));
+  const Pmf pmf = pmf_from_samples(samples, 5);
+  // Gamma(25, 5) has mean 125; binning at width 5 keeps it within a bin.
+  EXPECT_NEAR(pmf.mean(), 125.0, 5.0);
+}
+
+// ----------------------------- CdfSampler ----------------------------
+
+TEST(CdfSampler, InvalidWhenDefaultConstructed) {
+  const CdfSampler sampler;
+  EXPECT_FALSE(sampler.valid());
+}
+
+TEST(CdfSampler, MatchesPmfSampleDistribution) {
+  const Pmf pmf = pmf_of({{10, 0.2}, {20, 0.5}, {30, 0.3}});
+  const CdfSampler sampler(pmf);
+  ASSERT_TRUE(sampler.valid());
+  Rng rng(3);
+  int counts[3] = {0, 0, 0};
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Tick draw = sampler.sample(rng);
+    ASSERT_TRUE(draw == 10 || draw == 20 || draw == 30);
+    ++counts[(draw - 10) / 10];
+  }
+  EXPECT_NEAR(counts[0] / double(kDraws), 0.2, 0.02);
+  EXPECT_NEAR(counts[1] / double(kDraws), 0.5, 0.02);
+  EXPECT_NEAR(counts[2] / double(kDraws), 0.3, 0.02);
+}
+
+TEST(CdfSampler, SkipsZeroProbabilityBins) {
+  Pmf pmf(0, 1, {0.0, 1.0, 0.0});
+  const CdfSampler sampler(pmf);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.sample(rng), 1);
+  }
+}
+
+// ------------------------------ PmfCdf -------------------------------
+
+class PmfCdfTest : public ::testing::TestWithParam<Tick> {};
+
+TEST_P(PmfCdfTest, MassBeforeAgreesWithPmfEverywhere) {
+  const Tick stride = GetParam();
+  const Pmf pmf = pmf_of({{2 * stride, 0.1},
+                          {3 * stride, 0.4},
+                          {5 * stride, 0.2},
+                          {8 * stride, 0.3}},
+                         stride);
+  const PmfCdf cdf(pmf);
+  ASSERT_TRUE(cdf.valid());
+  EXPECT_NEAR(cdf.total_mass(), 1.0, 1e-12);
+  for (Tick t = 0; t <= 10 * stride; ++t) {
+    ASSERT_DOUBLE_EQ(cdf.mass_before(t), pmf.mass_before(t)) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, PmfCdfTest,
+                         ::testing::Values<Tick>(1, 3, 5));
+
+TEST(PmfCdf, InvalidWhenDefaultConstructed) {
+  const PmfCdf cdf;
+  EXPECT_FALSE(cdf.valid());
+  EXPECT_DOUBLE_EQ(cdf.total_mass(), 0.0);
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,237 @@
+// End-to-end tests across modules: experiment harness, figure generators,
+// and the paper's headline qualitative claims at reduced scale.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "exp/figures.hpp"
+#include "util/stats.hpp"
+
+namespace taskdrop {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.scenario = ScenarioKind::SpecHC;
+  config.mapper = "PAM";
+  config.workload.n_tasks = 500;
+  config.workload.oversubscription = 3.0;
+  config.trials = 4;
+  config.seed = 42;
+  return config;
+}
+
+TEST(Experiment, RunsRequestedTrialsAndAggregates) {
+  ExperimentConfig config = small_config();
+  const ExperimentResult result = run_experiment(config);
+  ASSERT_EQ(result.trials.size(), 4u);
+  const std::vector<double> robustness =
+      series(result.trials, &TrialMetrics::robustness_pct);
+  EXPECT_NEAR(result.robustness.mean, mean(robustness), 1e-9);
+  for (const TrialMetrics& trial : result.trials) {
+    EXPECT_GT(trial.robustness_pct, 0.0);
+    EXPECT_LT(trial.robustness_pct, 100.0);
+    EXPECT_GT(trial.total_cost, 0.0);
+  }
+}
+
+TEST(Experiment, IsExactlyReproducible) {
+  ExperimentConfig config = small_config();
+  const ExperimentResult a = run_experiment(config);
+  const ExperimentResult b = run_experiment(config);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trials[i].robustness_pct, b.trials[i].robustness_pct);
+    EXPECT_DOUBLE_EQ(a.trials[i].total_cost, b.trials[i].total_cost);
+    EXPECT_EQ(a.trials[i].dropped_proactive, b.trials[i].dropped_proactive);
+  }
+}
+
+TEST(Experiment, DifferentSeedsGiveDifferentTrials) {
+  ExperimentConfig config = small_config();
+  const ExperimentResult a = run_experiment(config);
+  config.seed = 43;
+  const ExperimentResult b = run_experiment(config);
+  EXPECT_NE(a.trials[0].robustness_pct, b.trials[0].robustness_pct);
+}
+
+TEST(Experiment, PrebuiltScenarioMatchesInternalBuild) {
+  ExperimentConfig config = small_config();
+  config.trials = 2;
+  const Scenario scenario = build_scenario(config);
+  const ExperimentResult with_prebuilt = run_experiment(config, &scenario);
+  const ExperimentResult without = run_experiment(config);
+  EXPECT_DOUBLE_EQ(with_prebuilt.robustness.mean, without.robustness.mean);
+}
+
+// ----------------------- the paper's claims ------------------------
+
+TEST(PaperClaims, ProactiveDroppingBeatsReactiveOnly) {
+  ExperimentConfig config = small_config();
+  config.workload.n_tasks = 800;
+  config.dropper = DropperConfig::reactive_only();
+  const ExperimentResult reactive = run_experiment(config);
+  config.dropper = DropperConfig::heuristic();
+  const ExperimentResult proactive = run_experiment(config);
+  // The paper reports ~20 % improvement; at this scale we only require a
+  // clear margin.
+  EXPECT_GT(proactive.robustness.mean, reactive.robustness.mean + 2.0);
+}
+
+TEST(PaperClaims, HeuristicTracksOptimal) {
+  ExperimentConfig config = small_config();
+  config.dropper = DropperConfig::optimal();
+  const ExperimentResult optimal = run_experiment(config);
+  config.dropper = DropperConfig::heuristic();
+  const ExperimentResult heuristic = run_experiment(config);
+  // Section V-F: "no statistically and practically significant difference".
+  EXPECT_NEAR(heuristic.robustness.mean, optimal.robustness.mean, 5.0);
+}
+
+TEST(PaperClaims, DroppingLiftsWeakMappersToCompetitiveRobustness) {
+  // Fig. 7a's story: MSD without dropping is far below MM; with the
+  // heuristic dropper the gap collapses.
+  ExperimentConfig config = small_config();
+  config.workload.n_tasks = 800;
+
+  auto robustness = [&](const std::string& mapper, DropperConfig dropper) {
+    ExperimentConfig c = config;
+    c.mapper = mapper;
+    c.dropper = dropper;
+    return run_experiment(c).robustness.mean;
+  };
+  const double msd_react = robustness("MSD", DropperConfig::reactive_only());
+  const double mm_react = robustness("MM", DropperConfig::reactive_only());
+  const double msd_drop = robustness("MSD", DropperConfig::heuristic());
+  const double mm_drop = robustness("MM", DropperConfig::heuristic());
+
+  EXPECT_LT(msd_react, mm_react - 5.0);               // MSD suffers alone
+  EXPECT_GT(msd_drop, msd_react + 10.0);              // dropping rescues it
+  EXPECT_NEAR(msd_drop, mm_drop, 12.0);               // near-convergence
+}
+
+TEST(PaperClaims, ReactiveShareOfQueueDropsIsSmall) {
+  ExperimentConfig config = small_config();
+  config.workload.n_tasks = 800;
+  config.dropper = DropperConfig::heuristic();
+  const ExperimentResult result = run_experiment(config);
+  // Section V-F: "only around 7% of the task droppings happen reactively".
+  EXPECT_LT(result.reactive_share.mean, 30.0);
+}
+
+TEST(PaperClaims, NormalisedCostLowerWithDroppingThanMmReactive) {
+  ExperimentConfig config = small_config();
+  config.workload.n_tasks = 800;
+  config.mapper = "PAM";
+  config.dropper = DropperConfig::heuristic();
+  const ExperimentResult pam = run_experiment(config);
+  config.mapper = "MM";
+  config.dropper = DropperConfig::reactive_only();
+  const ExperimentResult mm = run_experiment(config);
+  // Fig. 9: MM+ReactDrop incurs a much higher cost per completed task.
+  EXPECT_LT(pam.normalized_cost.mean, mm.normalized_cost.mean);
+}
+
+TEST(PaperClaims, HomogeneousSystemAlsoBenefits) {
+  ExperimentConfig config = small_config();
+  config.scenario = ScenarioKind::Homogeneous;
+  config.mapper = "FCFS";
+  config.workload.n_tasks = 600;
+  config.dropper = DropperConfig::reactive_only();
+  const ExperimentResult reactive = run_experiment(config);
+  config.dropper = DropperConfig::heuristic();
+  const ExperimentResult proactive = run_experiment(config);
+  EXPECT_GT(proactive.robustness.mean, reactive.robustness.mean + 5.0);
+}
+
+// --------------------------- figure smoke ---------------------------
+
+FigureScale tiny_scale() {
+  FigureScale scale;
+  scale.tasks_divisor = 50;  // 400/600/800 tasks
+  scale.trials = 2;
+  return scale;
+}
+
+TEST(Figures, LevelsScaleWithDivisor) {
+  FigureScale scale;
+  scale.tasks_divisor = 10;
+  const auto levels = oversubscription_levels(scale);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0].label, "20k");
+  EXPECT_EQ(levels[0].n_tasks, 2000);
+  EXPECT_LT(levels[0].oversubscription, levels[2].oversubscription);
+}
+
+TEST(Figures, FromFlagsHonoursFullAndOverrides) {
+  const char* argv[] = {"prog", "--full", "--trials=5"};
+  const Flags flags(3, argv);
+  const FigureScale scale = FigureScale::from_flags(flags);
+  EXPECT_EQ(scale.tasks_divisor, 1);
+  EXPECT_EQ(scale.trials, 5);  // explicit override wins over --full's 30
+}
+
+TEST(Figures, Fig7aProducesAllSeries) {
+  const Table table = fig7a_hetero_mappers(tiny_scale());
+  EXPECT_EQ(table.row_count(), 6u);  // 3 mappers x {Heuristic, ReactDrop}
+  EXPECT_EQ(table.headers().size(), 4u);
+}
+
+TEST(Figures, Fig8CoversAllVariantsAndLevels) {
+  const Table table = fig8_dropping_variants(tiny_scale());
+  EXPECT_EQ(table.row_count(), 9u);  // 3 levels x 3 variants
+}
+
+TEST(Figures, Fig10RunsTheVideoScenario) {
+  const Table table = fig10_video(tiny_scale());
+  EXPECT_EQ(table.row_count(), 6u);
+}
+
+TEST(Figures, ApproxAblationReportsUtilityColumn) {
+  const Table table = ablation_approx(tiny_scale());
+  EXPECT_EQ(table.row_count(), 9u);  // 3 levels x 3 mechanisms
+  // ReactDrop and drop-only rows must report utility == robustness.
+  for (const auto& row : table.rows()) {
+    if (row[1] == "ReactDrop" || row[1] == "Heuristic (drop)") {
+      EXPECT_EQ(row[2], row[3]) << row[0] << " " << row[1];
+    }
+  }
+}
+
+TEST(Figures, FailureAblationIncludesBaselineRow) {
+  const Table table = ablation_failures(tiny_scale());
+  EXPECT_EQ(table.row_count(), 10u);  // 5 MTBF points x 2 droppers
+  EXPECT_EQ(table.rows()[0][0], "no failures");
+}
+
+TEST(Figures, DeferralAblationCoversBothPams) {
+  const Table table = ablation_deferral(tiny_scale());
+  EXPECT_EQ(table.row_count(), 4u);
+  EXPECT_EQ(table.rows()[0][0], "PAM");
+  EXPECT_EQ(table.rows()[2][0], "PAMD");
+}
+
+TEST(Figures, SensitivitySweepsProduceMonotoneAxes) {
+  const Table gamma = ablation_gamma(tiny_scale());
+  EXPECT_EQ(gamma.row_count(), 6u);
+  const Table capacity = ablation_queue_capacity(tiny_scale());
+  EXPECT_EQ(capacity.row_count(), 5u);
+}
+
+TEST(PaperClaims, ApproxUtilityBeatsDropOnlyRobustnessAtSameScale) {
+  ExperimentConfig config = small_config();
+  config.workload.n_tasks = 800;
+  config.dropper = DropperConfig::heuristic();
+  const ExperimentResult drop_only = run_experiment(config);
+  // With no approximate tasks, utility must equal robustness exactly.
+  EXPECT_DOUBLE_EQ(drop_only.utility.mean, drop_only.robustness.mean);
+
+  config.dropper = DropperConfig::approximate();
+  const ExperimentResult approx = run_experiment(config);
+  // Downgrades trade quality for throughput: utility stays at least
+  // competitive and robustness rises.
+  EXPECT_GT(approx.robustness.mean, drop_only.robustness.mean);
+  EXPECT_LT(approx.utility.mean, approx.robustness.mean);
+}
+
+}  // namespace
+}  // namespace taskdrop

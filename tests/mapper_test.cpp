@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "core/sandbox.hpp"
+#include "sched/registry.hpp"
+#include "test_util.hpp"
+
+namespace taskdrop {
+namespace {
+
+using test::pet_of;
+
+/// Inconsistent 2 task types x 2 machine types:
+///   type 0: m0 takes 10, m1 takes 20  (prefers m0)
+///   type 1: m0 takes 20, m1 takes 5   (prefers m1)
+PetMatrix inconsistent_pet() {
+  return pet_of({{{{10, 1.0}}, {{20, 1.0}}}, {{{20, 1.0}}, {{5, 1.0}}}});
+}
+
+MachineId machine_of(const SystemSandbox& sandbox, TaskId task) {
+  for (const auto& [assigned_task, machine] : sandbox.assigned) {
+    if (assigned_task == task) return machine;
+  }
+  return -1;
+}
+
+TEST(Registry, KnowsAllMappersAndRejectsUnknown) {
+  for (const std::string& name :
+       {"MM", "MinMin", "MSD", "PAM", "FCFS", "SJF", "EDF"}) {
+    EXPECT_NE(make_mapper(name), nullptr) << name;
+  }
+  EXPECT_THROW(make_mapper("NOPE"), std::invalid_argument);
+  EXPECT_EQ(make_mapper("MinMin")->name(), "MM");
+}
+
+TEST(Registry, BuildsEveryDropperKind) {
+  EXPECT_EQ(make_dropper(DropperConfig::reactive_only())->name(), "ReactDrop");
+  EXPECT_EQ(make_dropper(DropperConfig::heuristic())->name(), "Heuristic");
+  EXPECT_EQ(make_dropper(DropperConfig::optimal())->name(), "Optimal");
+  EXPECT_EQ(make_dropper(DropperConfig::threshold())->name(), "Threshold");
+}
+
+TEST(MinMin, AssignsEachTaskToItsFastestMachine) {
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0, 1}, 6);
+  const TaskId t0 = sandbox.add_unmapped(0, 0, 1000);
+  const TaskId t1 = sandbox.add_unmapped(1, 0, 1000);
+  make_mapper("MM")->map_tasks(sandbox.view(), sandbox);
+  EXPECT_EQ(machine_of(sandbox, t0), 0);
+  EXPECT_EQ(machine_of(sandbox, t1), 1);
+  EXPECT_TRUE(sandbox.view().batch_queue->empty());
+}
+
+TEST(MinMin, AccountsForQueueBacklogInPhaseOne) {
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0, 1}, 6);
+  // Load m0 with 3 type-0 tasks (30 ticks of backlog). A new type-0 task
+  // now completes sooner on the "slow" m1 (20) than behind the backlog
+  // (30 + 10 = 40).
+  for (int i = 0; i < 3; ++i) sandbox.enqueue(0, 0, 10000);
+  const TaskId task = sandbox.add_unmapped(0, 0, 10000);
+  make_mapper("MM")->map_tasks(sandbox.view(), sandbox);
+  EXPECT_EQ(machine_of(sandbox, task), 1);
+}
+
+TEST(MinMin, AssignsOnePairPerMachinePerRound) {
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0}, 2);
+  // Three type-0 tasks, one machine with 2 slots: only two get mapped.
+  sandbox.add_unmapped(0, 0, 1000);
+  sandbox.add_unmapped(0, 1, 1000);
+  sandbox.add_unmapped(0, 2, 1000);
+  make_mapper("MM")->map_tasks(sandbox.view(), sandbox);
+  EXPECT_EQ(sandbox.assigned.size(), 2u);
+  EXPECT_EQ(sandbox.view().batch_queue->size(), 1u);
+}
+
+TEST(Msd, PhaseTwoPrefersSoonestDeadline) {
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0}, 1);  // single slot forces a choice
+  sandbox.add_unmapped(0, 0, /*deadline=*/5000);
+  const TaskId urgent = sandbox.add_unmapped(0, 0, /*deadline=*/50);
+  make_mapper("MSD")->map_tasks(sandbox.view(), sandbox);
+  ASSERT_EQ(sandbox.assigned.size(), 1u);
+  EXPECT_EQ(sandbox.assigned.front().first, urgent);
+}
+
+TEST(Msd, DeadlineTieBreaksOnCompletionTime) {
+  // Two tasks with equal deadlines but different execution times on the
+  // only machine: the faster one wins the slot.
+  const PetMatrix pet = pet_of({{{{10, 1.0}}}, {{{5, 1.0}}}});
+  SystemSandbox sandbox(pet, {0}, 1);
+  sandbox.add_unmapped(0, 0, 100);
+  const TaskId fast = sandbox.add_unmapped(1, 0, 100);
+  make_mapper("MSD")->map_tasks(sandbox.view(), sandbox);
+  ASSERT_EQ(sandbox.assigned.size(), 1u);
+  EXPECT_EQ(sandbox.assigned.front().first, fast);
+}
+
+TEST(Pam, PhaseOnePicksHighestChanceMachine) {
+  // Type 0 on m0 finishes in 10, on m1 in 20. Deadline 15: chance is 1 on
+  // m0 and 0 on m1, even though m1's queue is empty too.
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0, 1}, 6);
+  const TaskId task = sandbox.add_unmapped(0, 0, /*deadline=*/15);
+  make_mapper("PAM")->map_tasks(sandbox.view(), sandbox);
+  EXPECT_EQ(machine_of(sandbox, task), 0);
+}
+
+TEST(Pam, PhaseTwoMapsLowestCompletionFirst) {
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0, 1}, 1);
+  // Deadline 15 makes each task's fast machine the unique highest-chance
+  // choice (the slow one would finish at 20); the type-1 task (5 ticks on
+  // m1) then has the lower expected completion and is assigned first.
+  sandbox.add_unmapped(0, 0, 15);
+  const TaskId quick = sandbox.add_unmapped(1, 0, 15);
+  make_mapper("PAM")->map_tasks(sandbox.view(), sandbox);
+  ASSERT_GE(sandbox.assigned.size(), 2u);
+  EXPECT_EQ(sandbox.assigned.front().first, quick);
+}
+
+TEST(Pam, MapsHopelessTasksRatherThanDeferring)  {
+  // Deferring is disabled (section V-B3): even a task with zero chance on
+  // every machine is mapped once slots exist.
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0, 1}, 6);
+  sandbox.set_now(100);
+  const TaskId doomed = sandbox.add_unmapped(0, 0, /*deadline=*/50);
+  make_mapper("PAM")->map_tasks(sandbox.view(), sandbox);
+  EXPECT_NE(machine_of(sandbox, doomed), -1);
+}
+
+TEST(Fcfs, MapsInArrivalOrder) {
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0}, 3);
+  const TaskId first = sandbox.add_unmapped(0, /*arrival=*/10, 1000);
+  const TaskId second = sandbox.add_unmapped(0, /*arrival=*/20, 1000);
+  const TaskId third = sandbox.add_unmapped(0, /*arrival=*/30, 1000);
+  make_mapper("FCFS")->map_tasks(sandbox.view(), sandbox);
+  ASSERT_EQ(sandbox.assigned.size(), 3u);
+  EXPECT_EQ(sandbox.assigned[0].first, first);
+  EXPECT_EQ(sandbox.assigned[1].first, second);
+  EXPECT_EQ(sandbox.assigned[2].first, third);
+}
+
+TEST(Sjf, MapsShortestMeanExecutionFirst) {
+  // Mean over machines: type 0 -> 15, type 1 -> 12.5.
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0}, 2);
+  const TaskId longer = sandbox.add_unmapped(0, 0, 1000);
+  const TaskId shorter = sandbox.add_unmapped(1, 1, 1000);
+  make_mapper("SJF")->map_tasks(sandbox.view(), sandbox);
+  ASSERT_EQ(sandbox.assigned.size(), 2u);
+  EXPECT_EQ(sandbox.assigned[0].first, shorter);
+  EXPECT_EQ(sandbox.assigned[1].first, longer);
+}
+
+TEST(Edf, MapsEarliestDeadlineFirst) {
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0}, 2);
+  const TaskId relaxed = sandbox.add_unmapped(0, 0, 900);
+  const TaskId urgent = sandbox.add_unmapped(0, 1, 100);
+  make_mapper("EDF")->map_tasks(sandbox.view(), sandbox);
+  ASSERT_EQ(sandbox.assigned.size(), 2u);
+  EXPECT_EQ(sandbox.assigned[0].first, urgent);
+  EXPECT_EQ(sandbox.assigned[1].first, relaxed);
+}
+
+TEST(OrderedMappers, PickLeastLoadedMachine) {
+  const PetMatrix pet = pet_of({{{{10, 1.0}}, {{10, 1.0}}}});
+  SystemSandbox sandbox(pet, {0, 0}, 6);
+  sandbox.enqueue(0, 0, 10000);  // machine 0 has backlog
+  const TaskId task = sandbox.add_unmapped(0, 0, 10000);
+  make_mapper("FCFS")->map_tasks(sandbox.view(), sandbox);
+  EXPECT_EQ(machine_of(sandbox, task), 1);
+}
+
+TEST(AllMappers, RespectQueueCapacity) {
+  const PetMatrix pet = inconsistent_pet();
+  for (const std::string& name : mapper_names()) {
+    SystemSandbox sandbox(pet, {0, 1}, 2);
+    for (int i = 0; i < 10; ++i) {
+      sandbox.add_unmapped(static_cast<TaskTypeId>(i % 2), i, 10000 + i);
+    }
+    make_mapper(name)->map_tasks(sandbox.view(), sandbox);
+    EXPECT_EQ(sandbox.assigned.size(), 4u) << name;  // 2 machines x 2 slots
+    EXPECT_LE(sandbox.machine(0).queue.size(), 2u) << name;
+    EXPECT_LE(sandbox.machine(1).queue.size(), 2u) << name;
+    EXPECT_EQ(sandbox.view().batch_queue->size(), 6u) << name;
+  }
+}
+
+TEST(AllMappers, NoOpOnEmptyBatchOrFullQueues) {
+  const PetMatrix pet = inconsistent_pet();
+  for (const std::string& name : mapper_names()) {
+    SystemSandbox empty_batch(pet, {0}, 2);
+    make_mapper(name)->map_tasks(empty_batch.view(), empty_batch);
+    EXPECT_TRUE(empty_batch.assigned.empty()) << name;
+
+    SystemSandbox full(pet, {0}, 1);
+    full.enqueue(0, 0, 1000);
+    full.add_unmapped(0, 0, 1000);
+    make_mapper(name)->map_tasks(full.view(), full);
+    EXPECT_TRUE(full.assigned.empty()) << name;
+  }
+}
+
+TEST(CandidateWindow, LimitsConsideredTasks) {
+  // With window 1, only the batch head is a candidate; SJF cannot reach the
+  // shorter task sitting behind it.
+  const PetMatrix pet = inconsistent_pet();
+  SystemSandbox sandbox(pet, {0}, 1);
+  const TaskId long_head = sandbox.add_unmapped(0, 0, 1000);
+  sandbox.add_unmapped(1, 1, 1000);  // shorter, but outside the window
+  make_mapper("SJF", /*candidate_window=*/1)
+      ->map_tasks(sandbox.view(), sandbox);
+  ASSERT_EQ(sandbox.assigned.size(), 1u);
+  EXPECT_EQ(sandbox.assigned.front().first, long_head);
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,163 @@
+#include "core/optimal_dropper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/proactive_heuristic_dropper.hpp"
+#include "core/sandbox.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace taskdrop {
+namespace {
+
+using test::pet_of;
+
+/// Same palette as dropper_test: big {10}, small {1}, medium {5},
+/// coin {2: 0.5, 20: 0.5}.
+PetMatrix dropper_pet() {
+  return pet_of({{{{10, 1.0}}}, {{{1, 1.0}}}, {{{5, 1.0}}},
+                 {{{2, 0.5}, {20, 0.5}}}});
+}
+
+TEST(OptimalDropper, NoDropsWhenEverythingIsCertain) {
+  const PetMatrix pet = dropper_pet();
+  SystemSandbox sandbox(pet, {0}, 6);
+  for (int i = 0; i < 5; ++i) {
+    sandbox.enqueue(0, /*type=*/1, /*deadline=*/100 + i);
+  }
+  OptimalDropper dropper;
+  dropper.run(sandbox.view(), sandbox);
+  EXPECT_TRUE(sandbox.dropped.empty());
+}
+
+TEST(OptimalDropper, DropsHopelessBlockingHead) {
+  const PetMatrix pet = dropper_pet();
+  SystemSandbox sandbox(pet, {0}, 6);
+  const TaskId big = sandbox.enqueue(0, 0, 5);
+  sandbox.enqueue(0, 1, 3);
+  sandbox.enqueue(0, 1, 4);
+  OptimalDropper dropper;
+  dropper.run(sandbox.view(), sandbox);
+  ASSERT_EQ(sandbox.dropped.size(), 1u);
+  EXPECT_EQ(sandbox.dropped.front(), big);
+  EXPECT_NEAR(sandbox.model(0).instantaneous_robustness(), 2.0, 1e-12);
+}
+
+TEST(OptimalDropper, CollectiveDropBeatsGreedySinglePass) {
+  // Section IV-D's motivating case: two consecutive hopeless big tasks
+  // block two certain small ones. Dropping either big alone gains nothing
+  // (the other still blocks), so the greedy heuristic keeps both; only the
+  // *collective* view finds that dropping both rescues the smalls.
+  const PetMatrix pet = dropper_pet();
+
+  SystemSandbox greedy(pet, {0}, 6);
+  greedy.enqueue(0, 0, 5);
+  greedy.enqueue(0, 0, 6);
+  greedy.enqueue(0, 1, 3);
+  greedy.enqueue(0, 1, 4);
+  ProactiveHeuristicDropper heuristic;
+  heuristic.run(greedy.view(), greedy);
+  EXPECT_TRUE(greedy.dropped.empty());
+  EXPECT_NEAR(greedy.model(0).instantaneous_robustness(), 0.0, 1e-12);
+
+  SystemSandbox optimal(pet, {0}, 6);
+  optimal.enqueue(0, 0, 5);
+  optimal.enqueue(0, 0, 6);
+  optimal.enqueue(0, 1, 3);
+  optimal.enqueue(0, 1, 4);
+  OptimalDropper dropper;
+  dropper.run(optimal.view(), optimal);
+  EXPECT_EQ(optimal.dropped.size(), 2u);
+  EXPECT_NEAR(optimal.model(0).instantaneous_robustness(), 2.0, 1e-12);
+}
+
+TEST(OptimalDropper, NeverDropsLastOrRunningTask) {
+  const PetMatrix pet = dropper_pet();
+  SystemSandbox sandbox(pet, {0}, 6);
+  const TaskId running = sandbox.enqueue(0, 0, 5);   // hopeless but running
+  sandbox.enqueue(0, 0, 6);                          // hopeless pending
+  const TaskId last = sandbox.enqueue(0, 0, 7);      // hopeless last
+  sandbox.set_running(0, 0);
+  OptimalDropper dropper;
+  dropper.run(sandbox.view(), sandbox);
+  for (TaskId dropped : sandbox.dropped) {
+    EXPECT_NE(dropped, running);
+    EXPECT_NE(dropped, last);
+  }
+  EXPECT_EQ(sandbox.machine(0).queue.front(), running);
+  EXPECT_EQ(sandbox.machine(0).queue.back(), last);
+}
+
+TEST(OptimalDropper, PrefersFewerDropsOnTies) {
+  const PetMatrix pet = dropper_pet();
+  SystemSandbox sandbox(pet, {0}, 6);
+  // Certain small tasks with huge slack: dropping any subset only removes
+  // successful tasks; robustness is maximised by the empty subset.
+  sandbox.enqueue(0, 1, 1000);
+  sandbox.enqueue(0, 1, 1001);
+  sandbox.enqueue(0, 1, 1002);
+  OptimalDropper dropper;
+  dropper.run(sandbox.view(), sandbox);
+  EXPECT_TRUE(sandbox.dropped.empty());
+}
+
+TEST(OptimalDropper, AtLeastAsGoodAsHeuristicOnRandomQueues) {
+  const PetMatrix pet = dropper_pet();
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const int depth = static_cast<int>(rng.uniform_int(2, 6));
+    std::vector<std::pair<TaskTypeId, Tick>> specs;
+    for (int i = 0; i < depth; ++i) {
+      specs.emplace_back(static_cast<TaskTypeId>(rng.uniform_int(0, 3)),
+                         rng.uniform_int(2, 30));
+    }
+    SystemSandbox for_heuristic(pet, {0}, depth + 1);
+    SystemSandbox for_optimal(pet, {0}, depth + 1);
+    for (const auto& [type, deadline] : specs) {
+      for_heuristic.enqueue(0, type, deadline);
+      for_optimal.enqueue(0, type, deadline);
+    }
+    ProactiveHeuristicDropper heuristic;
+    heuristic.run(for_heuristic.view(), for_heuristic);
+    OptimalDropper optimal;
+    optimal.run(for_optimal.view(), for_optimal);
+    EXPECT_GE(for_optimal.model(0).instantaneous_robustness() + 1e-9,
+              for_heuristic.model(0).instantaneous_robustness())
+        << "seed " << seed;
+  }
+}
+
+TEST(OptimalDropper, SecondRunOnUnchangedQueueIsIdempotent) {
+  const PetMatrix pet = dropper_pet();
+  SystemSandbox sandbox(pet, {0}, 6);
+  sandbox.enqueue(0, 0, 5);
+  sandbox.enqueue(0, 0, 6);
+  sandbox.enqueue(0, 1, 3);
+  sandbox.enqueue(0, 1, 4);
+  OptimalDropper dropper;
+  dropper.run(sandbox.view(), sandbox);
+  const std::size_t after_first = sandbox.dropped.size();
+  dropper.run(sandbox.view(), sandbox);
+  EXPECT_EQ(sandbox.dropped.size(), after_first);
+}
+
+TEST(OptimalDropper, NeverDecreasesInstantaneousRobustness) {
+  const PetMatrix pet = dropper_pet();
+  for (std::uint64_t seed = 100; seed < 115; ++seed) {
+    Rng rng(seed);
+    const int depth = static_cast<int>(rng.uniform_int(2, 6));
+    SystemSandbox sandbox(pet, {0}, depth + 1);
+    for (int i = 0; i < depth; ++i) {
+      sandbox.enqueue(0, static_cast<TaskTypeId>(rng.uniform_int(0, 3)),
+                      rng.uniform_int(2, 30));
+    }
+    const double before = sandbox.model(0).instantaneous_robustness();
+    OptimalDropper dropper;
+    dropper.run(sandbox.view(), sandbox);
+    EXPECT_GE(sandbox.model(0).instantaneous_robustness() + 1e-9, before)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace taskdrop

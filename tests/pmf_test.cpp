@@ -1,0 +1,214 @@
+#include "prob/pmf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace taskdrop {
+namespace {
+
+using test::pmf_of;
+
+TEST(Pmf, DefaultIsEmpty) {
+  const Pmf pmf;
+  EXPECT_TRUE(pmf.empty());
+  EXPECT_EQ(pmf.size(), 0u);
+  EXPECT_DOUBLE_EQ(pmf.total_mass(), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(100), 0.0);
+}
+
+TEST(Pmf, DeltaCarriesAllMassAtOnePoint) {
+  const Pmf pmf = Pmf::delta(42);
+  EXPECT_EQ(pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(42), 1.0);
+  EXPECT_DOUBLE_EQ(pmf.total_mass(), 1.0);
+  EXPECT_DOUBLE_EQ(pmf.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(pmf.variance(), 0.0);
+  EXPECT_EQ(pmf.min_time(), 42);
+  EXPECT_EQ(pmf.max_time(), 42);
+}
+
+TEST(Pmf, FromImpulsesSortsAndAccumulatesDuplicates) {
+  const Pmf pmf = pmf_of({{5, 0.25}, {3, 0.5}, {5, 0.25}});
+  EXPECT_EQ(pmf.min_time(), 3);
+  EXPECT_EQ(pmf.max_time(), 5);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(3), 0.5);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(4), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(5), 0.5);
+}
+
+TEST(Pmf, ProbAtOffLatticeAndOutOfRangeIsZero) {
+  const Pmf pmf = pmf_of({{10, 0.5}, {20, 0.5}}, 10);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(15), 0.0);  // off lattice
+  EXPECT_DOUBLE_EQ(pmf.prob_at(0), 0.0);   // below support
+  EXPECT_DOUBLE_EQ(pmf.prob_at(30), 0.0);  // above support
+}
+
+TEST(Pmf, MassBeforeIsStrict) {
+  // Matches Eq. 2: success means completion strictly before the deadline.
+  const Pmf pmf = pmf_of({{10, 0.6}, {11, 0.3}, {12, 0.1}});
+  EXPECT_DOUBLE_EQ(pmf.mass_before(10), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(11), 0.6);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(12), 0.9);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(13), 1.0);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(1000), 1.0);
+}
+
+TEST(Pmf, MassBeforeOnCoarseLattice) {
+  const Pmf pmf = pmf_of({{10, 0.25}, {15, 0.25}, {20, 0.5}}, 5);
+  // Times strictly below 16 are bins 10 and 15.
+  EXPECT_DOUBLE_EQ(pmf.mass_before(16), 0.5);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(15), 0.25);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(21), 1.0);
+}
+
+TEST(Pmf, MassAtOrAfterComplementsMassBefore) {
+  const Pmf pmf = pmf_of({{1, 0.2}, {2, 0.3}, {5, 0.5}});
+  for (Tick t = 0; t <= 6; ++t) {
+    EXPECT_NEAR(pmf.mass_before(t) + pmf.mass_at_or_after(t), 1.0, 1e-12);
+  }
+}
+
+TEST(Pmf, MeanAndVariance) {
+  const Pmf pmf = pmf_of({{1, 0.6}, {2, 0.4}});  // Fig. 2's execution PMF
+  EXPECT_NEAR(pmf.mean(), 1.4, 1e-12);
+  EXPECT_NEAR(pmf.variance(), 0.24, 1e-12);
+}
+
+TEST(Pmf, ScaleAndNormalize) {
+  Pmf pmf = pmf_of({{1, 0.5}, {2, 0.5}});
+  pmf.scale(0.25);
+  EXPECT_NEAR(pmf.total_mass(), 0.25, 1e-12);
+  pmf.normalize();
+  EXPECT_NEAR(pmf.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(pmf.prob_at(1), 0.5, 1e-12);
+}
+
+TEST(Pmf, NormalizeOnZeroMassIsNoOp) {
+  Pmf pmf = pmf_of({{1, 0.0}});
+  pmf.normalize();
+  EXPECT_DOUBLE_EQ(pmf.total_mass(), 0.0);
+}
+
+TEST(Pmf, TrimStripsEdgeZerosOnly) {
+  Pmf pmf(0, 1, {0.0, 0.0, 0.5, 0.0, 0.5, 0.0});
+  pmf.trim();
+  EXPECT_EQ(pmf.min_time(), 2);
+  EXPECT_EQ(pmf.max_time(), 4);
+  EXPECT_EQ(pmf.size(), 3u);  // interior zero kept
+  EXPECT_DOUBLE_EQ(pmf.prob_at(3), 0.0);
+  EXPECT_NEAR(pmf.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Pmf, TrimAllZerosYieldsEmpty) {
+  Pmf pmf(5, 1, {0.0, 0.0});
+  pmf.trim();
+  EXPECT_TRUE(pmf.empty());
+}
+
+TEST(Pmf, LumpTailCollapsesMassAtHorizon) {
+  Pmf pmf = pmf_of({{1, 0.25}, {2, 0.25}, {3, 0.25}, {4, 0.25}});
+  pmf.lump_tail(3);
+  EXPECT_EQ(pmf.max_time(), 3);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(3), 0.5);
+  EXPECT_NEAR(pmf.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Pmf, LumpTailBeyondSupportIsNoOp) {
+  Pmf pmf = pmf_of({{1, 0.5}, {2, 0.5}});
+  const Pmf before = pmf;
+  pmf.lump_tail(10);
+  EXPECT_EQ(pmf, before);
+}
+
+TEST(Pmf, LumpTailOffLatticeHorizonUsesNextBin) {
+  Pmf pmf = pmf_of({{0, 0.25}, {5, 0.25}, {10, 0.25}, {15, 0.25}}, 5);
+  pmf.lump_tail(7);  // first lattice point at or above 7 is 10
+  EXPECT_EQ(pmf.max_time(), 10);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(10), 0.5);
+}
+
+TEST(Pmf, AddImpulseGrowsFrontAndBack) {
+  Pmf pmf = pmf_of({{5, 0.5}});
+  pmf.add_impulse(3, 0.25);
+  pmf.add_impulse(8, 0.25);
+  EXPECT_EQ(pmf.min_time(), 3);
+  EXPECT_EQ(pmf.max_time(), 8);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(3), 0.25);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(5), 0.5);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(8), 0.25);
+  EXPECT_NEAR(pmf.total_mass(), 1.0, 1e-12);
+}
+
+TEST(Pmf, AddImpulseOnEmptySetsOrigin) {
+  Pmf pmf;
+  pmf.add_impulse(7, 1.0);
+  EXPECT_EQ(pmf.min_time(), 7);
+  EXPECT_DOUBLE_EQ(pmf.prob_at(7), 1.0);
+}
+
+TEST(Pmf, QuantileWalksTheCdf) {
+  const Pmf pmf = pmf_of({{1, 0.2}, {2, 0.3}, {3, 0.5}});
+  EXPECT_EQ(pmf.quantile(0.1), 1);
+  EXPECT_EQ(pmf.quantile(0.2), 1);
+  EXPECT_EQ(pmf.quantile(0.21), 2);
+  EXPECT_EQ(pmf.quantile(0.5), 2);
+  EXPECT_EQ(pmf.quantile(1.0), 3);
+}
+
+TEST(Pmf, SampleIsDeterministicGivenRngState) {
+  const Pmf pmf = pmf_of({{1, 0.5}, {2, 0.5}});
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pmf.sample(a), pmf.sample(b));
+  }
+}
+
+TEST(Pmf, SampleMatchesDistribution) {
+  const Pmf pmf = pmf_of({{10, 0.7}, {20, 0.3}});
+  Rng rng(99);
+  int tens = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Tick draw = pmf.sample(rng);
+    ASSERT_TRUE(draw == 10 || draw == 20);
+    if (draw == 10) ++tens;
+  }
+  EXPECT_NEAR(static_cast<double>(tens) / kDraws, 0.7, 0.02);
+}
+
+// Lattice behaviour must be stride-independent: the same logical
+// distribution expressed at different strides yields identical statistics.
+class PmfStrideTest : public ::testing::TestWithParam<Tick> {};
+
+TEST_P(PmfStrideTest, StatisticsAreStrideInvariant) {
+  const Tick stride = GetParam();
+  const Pmf pmf = pmf_of(
+      {{10 * stride, 0.25}, {11 * stride, 0.5}, {13 * stride, 0.25}}, stride);
+  EXPECT_NEAR(pmf.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(pmf.mean(),
+              static_cast<double>(stride) * (10 * 0.25 + 11 * 0.5 + 13 * 0.25),
+              1e-9);
+  // Strictly-before semantics at bin boundaries.
+  EXPECT_DOUBLE_EQ(pmf.mass_before(10 * stride), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(10 * stride + 1), 0.25);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(13 * stride), 0.75);
+  EXPECT_DOUBLE_EQ(pmf.mass_before(13 * stride + 1), 1.0);
+}
+
+TEST_P(PmfStrideTest, QuantileSampleAgree) {
+  const Tick stride = GetParam();
+  const Pmf pmf = pmf_of({{2 * stride, 0.5}, {4 * stride, 0.5}}, stride);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Tick draw = pmf.sample(rng);
+    EXPECT_TRUE(draw == 2 * stride || draw == 4 * stride);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, PmfStrideTest,
+                         ::testing::Values<Tick>(1, 2, 5, 10));
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,137 @@
+#include "pet/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.hpp"
+
+namespace taskdrop {
+namespace {
+
+TEST(Profiles, SpecHcShapeMatchesPaper) {
+  const SystemProfile profile = spec_hc_profile();
+  EXPECT_EQ(profile.mean_execution_ms.size(), 12u);  // 12 SPECint task types
+  for (const auto& row : profile.mean_execution_ms) {
+    EXPECT_EQ(row.size(), 8u);  // 8 machine types
+  }
+  EXPECT_EQ(profile.machine_types.size(), 8u);  // one machine per type
+  EXPECT_EQ(profile.cost_per_hour.size(), 8u);
+}
+
+TEST(Profiles, SpecHcMeansInPaperBand) {
+  const SystemProfile profile = spec_hc_profile();
+  for (const auto& row : profile.mean_execution_ms) {
+    for (double mean : row) {
+      EXPECT_GE(mean, 50.0);
+      EXPECT_LE(mean, 200.0);
+    }
+  }
+}
+
+TEST(Profiles, SpecHcIsInconsistentlyHeterogeneous) {
+  // Definition from section I: machine A faster than B for task 1 but
+  // slower for task 2. Look for at least one such preference reversal.
+  const SystemProfile profile = spec_hc_profile();
+  const auto& m = profile.mean_execution_ms;
+  bool reversal_found = false;
+  for (std::size_t t1 = 0; t1 < m.size() && !reversal_found; ++t1) {
+    for (std::size_t t2 = t1 + 1; t2 < m.size() && !reversal_found; ++t2) {
+      for (std::size_t a = 0; a < m[t1].size() && !reversal_found; ++a) {
+        for (std::size_t b = a + 1; b < m[t1].size(); ++b) {
+          if ((m[t1][a] < m[t1][b]) != (m[t2][a] < m[t2][b])) {
+            reversal_found = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(reversal_found);
+}
+
+TEST(Profiles, SpecHcIsDeterministic) {
+  const SystemProfile a = spec_hc_profile();
+  const SystemProfile b = spec_hc_profile();
+  EXPECT_EQ(a.mean_execution_ms, b.mean_execution_ms);
+  EXPECT_EQ(a.cost_per_hour, b.cost_per_hour);
+}
+
+TEST(Profiles, VideoShapeMatchesSectionVH) {
+  const SystemProfile profile = video_profile();
+  EXPECT_EQ(profile.mean_execution_ms.size(), 4u);   // 4 transcoding types
+  EXPECT_EQ(profile.mean_execution_ms[0].size(), 4u);  // 4 VM types
+  EXPECT_EQ(profile.machine_types.size(), 8u);       // two machines per type
+  for (int type = 0; type < 4; ++type) {
+    int count = 0;
+    for (int m : profile.machine_types) {
+      if (m == type) ++count;
+    }
+    EXPECT_EQ(count, 2) << "VM type " << type;
+  }
+}
+
+TEST(Profiles, VideoHasHighAcrossTypeVariation) {
+  // "certain task type takes significantly shorter time to execute than the
+  // others across all machine types" (section V-H).
+  const SystemProfile profile = video_profile();
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_GT(profile.mean_execution_ms[3][m],
+              4.0 * profile.mean_execution_ms[0][m]);
+  }
+}
+
+TEST(Profiles, HomogeneousHasOneMachineType) {
+  const SystemProfile profile = homogeneous_profile();
+  EXPECT_EQ(profile.machine_types.size(), 8u);
+  for (int type : profile.machine_types) EXPECT_EQ(type, 0);
+  for (const auto& row : profile.mean_execution_ms) {
+    EXPECT_EQ(row.size(), 1u);
+  }
+  EXPECT_EQ(profile.cost_per_hour.size(), 1u);
+}
+
+TEST(Profiles, HomogeneousMeansAreSpecRowAverages) {
+  const SystemProfile spec = spec_hc_profile();
+  const SystemProfile homog = homogeneous_profile();
+  ASSERT_EQ(homog.mean_execution_ms.size(), spec.mean_execution_ms.size());
+  for (std::size_t t = 0; t < spec.mean_execution_ms.size(); ++t) {
+    double avg = 0.0;
+    for (double v : spec.mean_execution_ms[t]) avg += v;
+    avg /= static_cast<double>(spec.mean_execution_ms[t].size());
+    EXPECT_NEAR(homog.mean_execution_ms[t][0], avg, 1e-12);
+  }
+}
+
+TEST(Profiles, CostsArePositive) {
+  for (const SystemProfile& profile :
+       {spec_hc_profile(), video_profile(), homogeneous_profile()}) {
+    for (double rate : profile.cost_per_hour) EXPECT_GT(rate, 0.0);
+  }
+}
+
+// ------------------------------ scenario -----------------------------
+
+TEST(Scenario, BuildsFrozenPetMatchingProfile) {
+  const Scenario scenario = make_scenario(ScenarioKind::Video, 1);
+  EXPECT_EQ(scenario.profile.name, "video");
+  EXPECT_TRUE(scenario.pet.frozen());
+  EXPECT_EQ(scenario.pet.task_type_count(), 4);
+  EXPECT_EQ(scenario.pet.machine_type_count(), 4);
+  EXPECT_EQ(scenario.machine_count(), 8u);
+}
+
+TEST(Scenario, SeedPinsThePet) {
+  const Scenario a = make_scenario(ScenarioKind::SpecHC, 7);
+  const Scenario b = make_scenario(ScenarioKind::SpecHC, 7);
+  const Scenario c = make_scenario(ScenarioKind::SpecHC, 8);
+  EXPECT_EQ(a.pet.pmf(3, 2), b.pet.pmf(3, 2));
+  EXPECT_NE(a.pet.pmf(3, 2), c.pet.pmf(3, 2));
+}
+
+TEST(Scenario, KindNames) {
+  EXPECT_EQ(to_string(ScenarioKind::SpecHC), "spec_hc");
+  EXPECT_EQ(to_string(ScenarioKind::Video), "video");
+  EXPECT_EQ(to_string(ScenarioKind::Homogeneous), "homogeneous");
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace taskdrop {
+namespace {
+
+// -------------------------------- Rng --------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(42), b(43);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DerivedStreamsAreIndependentAndReproducible) {
+  Rng a = Rng::derive(7, 1);
+  Rng b = Rng::derive(7, 2);
+  EXPECT_NE(a(), b());
+  // Two derivations of the same (seed, stream) agree exactly.
+  Rng x = Rng::derive(99, 5), y = Rng::derive(99, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(x(), y());
+}
+
+TEST(Rng, Uniform01InRangeWithCorrectMean) {
+  Rng rng(1);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(2);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, GammaMatchesMoments) {
+  Rng rng(4);
+  const double shape = 20.0, scale = 6.0;
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.gamma(shape, scale);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 2.0);              // 120 +/- 2
+  EXPECT_NEAR(var, shape * scale * scale, 40.0);      // 720 +/- 40
+}
+
+TEST(Rng, ExponentialMatchesMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(25.0);
+  EXPECT_NEAR(sum / kDraws, 25.0, 0.5);
+}
+
+// ------------------------------- stats -------------------------------
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  // Sample (n-1) stddev of this classic dataset is sqrt(32/7).
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingletonEdgeCases) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ci95_halfwidth({3.0}), 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs = {1.5, 2.5, -3.0, 4.0, 0.0};
+  RunningStats acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(acc.stddev(), sample_stddev(xs), 1e-12);
+}
+
+TEST(Stats, TCriticalValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical_95(10), 2.228, 1e-9);
+  EXPECT_NEAR(t_critical_95(29), 2.045, 1e-9);
+  EXPECT_NEAR(t_critical_95(1000), 1.96, 1e-9);
+  EXPECT_DOUBLE_EQ(t_critical_95(0), 0.0);
+}
+
+TEST(Stats, Ci95HalfwidthKnownExample) {
+  // n=4, s=2 -> hw = t(3) * 2 / 2 = 3.182.
+  const std::vector<double> xs = {-2.0, 0.0, 2.0, 0.0};
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_NEAR(ci95_halfwidth(xs),
+              3.182 * std::sqrt(8.0 / 3.0) / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace taskdrop

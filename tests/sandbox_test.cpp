@@ -1,0 +1,86 @@
+#include "core/sandbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/robustness.hpp"
+#include "test_util.hpp"
+
+namespace taskdrop {
+namespace {
+
+using test::pet_of;
+
+PetMatrix small_pet() { return pet_of({{{{2, 1.0}}}, {{{1, 0.6}, {2, 0.4}}}}); }
+
+TEST(Sandbox, EnqueueBuildsConsistentState) {
+  const PetMatrix pet = small_pet();
+  SystemSandbox sandbox(pet, {0, 0}, 4, /*now=*/5);
+  const TaskId a = sandbox.enqueue(0, 0, 100);
+  const TaskId b = sandbox.enqueue(1, 1, 200, /*arrival=*/3);
+  EXPECT_EQ(sandbox.machine(0).queue.size(), 1u);
+  EXPECT_EQ(sandbox.machine(1).queue.size(), 1u);
+  EXPECT_EQ(sandbox.task(a).state, TaskState::Queued);
+  EXPECT_EQ(sandbox.task(a).machine, 0);
+  EXPECT_EQ(sandbox.task(b).arrival, 3);
+  EXPECT_EQ(sandbox.view().now, 5);
+}
+
+TEST(Sandbox, AssignMovesFromBatchToQueue) {
+  const PetMatrix pet = small_pet();
+  SystemSandbox sandbox(pet, {0}, 4);
+  const TaskId task = sandbox.add_unmapped(0, 0, 100);
+  EXPECT_EQ(sandbox.view().batch_queue->size(), 1u);
+  sandbox.assign_task(task, 0);
+  EXPECT_TRUE(sandbox.view().batch_queue->empty());
+  EXPECT_EQ(sandbox.machine(0).queue.front(), task);
+  ASSERT_EQ(sandbox.assigned.size(), 1u);
+  EXPECT_EQ(sandbox.assigned.front().first, task);
+}
+
+TEST(Sandbox, DropRecordsAndRemoves) {
+  const PetMatrix pet = small_pet();
+  SystemSandbox sandbox(pet, {0}, 4);
+  sandbox.enqueue(0, 0, 100);
+  const TaskId victim = sandbox.enqueue(0, 0, 200);
+  sandbox.drop_queued_task(0, 1);
+  EXPECT_EQ(sandbox.machine(0).queue.size(), 1u);
+  EXPECT_EQ(sandbox.task(victim).state, TaskState::DroppedProactive);
+  ASSERT_EQ(sandbox.dropped.size(), 1u);
+  EXPECT_EQ(sandbox.dropped.front(), victim);
+}
+
+TEST(Sandbox, SetRunningPinsTheHead) {
+  const PetMatrix pet = small_pet();
+  SystemSandbox sandbox(pet, {0}, 4);
+  const TaskId head = sandbox.enqueue(0, 0, 100);
+  sandbox.set_running(0, /*run_start=*/7);
+  EXPECT_TRUE(sandbox.machine(0).running);
+  EXPECT_EQ(sandbox.machine(0).run_start, 7);
+  EXPECT_EQ(sandbox.task(head).state, TaskState::Running);
+  EXPECT_EQ(sandbox.machine(0).first_pending_pos(), 1u);
+}
+
+TEST(Sandbox, SetNowPropagatesToModelsAndView) {
+  const PetMatrix pet = small_pet();
+  SystemSandbox sandbox(pet, {0}, 4, /*now=*/0);
+  sandbox.set_now(42);
+  EXPECT_EQ(sandbox.view().now, 42);
+  // An empty machine's tail is "free now".
+  EXPECT_EQ(sandbox.model(0).tail(), Pmf::delta(42));
+}
+
+TEST(SystemRobustness, SumsOverAllMachines) {
+  const PetMatrix pet = small_pet();
+  SystemSandbox sandbox(pet, {0, 0}, 4);
+  sandbox.enqueue(0, 0, 100);   // chance 1
+  sandbox.enqueue(1, 1, 2);     // chance: finish {1,2} < 2 -> 0.6
+  const double expected =
+      sandbox.model(0).instantaneous_robustness() +
+      sandbox.model(1).instantaneous_robustness();
+  EXPECT_NEAR(system_instantaneous_robustness(sandbox.view()), expected,
+              1e-12);
+  EXPECT_NEAR(expected, 1.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace taskdrop {
+namespace {
+
+// ------------------------------- Table -------------------------------
+
+TEST(Table, PrintsAlignedHeadersAndRows) {
+  Table table({"name", "value"});
+  table.row().cell("alpha").cell(1.5, 1);
+  table.row().cell("b").cell(static_cast<long long>(42));
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);  // separator line
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"label"});
+  table.row().cell("has,comma");
+  table.row().cell("has\"quote");
+  std::ostringstream oss;
+  table.print_csv(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowAndCellCounts) {
+  Table table({"a", "b"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.row().cell("1").cell("2");
+  table.row().cell("3").cell("4");
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.rows()[1][0], "3");
+}
+
+TEST(Table, FormatFixedPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+// ------------------------------- Flags -------------------------------
+
+TEST(Flags, ParsesKeyValueAndSwitches) {
+  const char* argv[] = {"prog", "--alpha=3.5", "--on", "positional",
+                        "--n=42"};
+  const Flags flags(5, argv);
+  EXPECT_TRUE(flags.has("alpha"));
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.0), 3.5);
+  EXPECT_TRUE(flags.get_bool("on"));
+  EXPECT_EQ(flags.get_int("n", 0), 42);
+  EXPECT_FALSE(flags.has("positional"));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Flags flags(1, argv);
+  EXPECT_EQ(flags.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(flags.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("missing"));
+  EXPECT_TRUE(flags.get_bool("missing", true));
+}
+
+TEST(Flags, BoolFalseSpellings) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=true"};
+  const Flags flags(4, argv);
+  EXPECT_FALSE(flags.get_bool("a"));
+  EXPECT_FALSE(flags.get_bool("b"));
+  EXPECT_TRUE(flags.get_bool("c"));
+}
+
+TEST(Flags, ReproFullEnvBecomesFullFlag) {
+  ::setenv("REPRO_FULL", "1", 1);
+  const char* argv[] = {"prog"};
+  const Flags flags(1, argv);
+  EXPECT_TRUE(flags.get_bool("full"));
+  ::unsetenv("REPRO_FULL");
+  const Flags flags2(1, argv);
+  EXPECT_FALSE(flags2.get_bool("full"));
+}
+
+TEST(Flags, ExplicitFlagBeatsEnv) {
+  ::setenv("REPRO_FULL", "1", 1);
+  const char* argv[] = {"prog", "--full=0"};
+  const Flags flags(2, argv);
+  EXPECT_FALSE(flags.get_bool("full"));
+  ::unsetenv("REPRO_FULL");
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,89 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace taskdrop {
+namespace {
+
+TEST(TraceIo, RoundTripsThroughStreams) {
+  const Trace original = {{0, 10, 100}, {2, 20, 150}, {1, 20, 180}};
+  std::stringstream buffer;
+  write_trace_csv(buffer, original);
+  const Trace loaded = read_trace_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].type, original[i].type);
+    EXPECT_EQ(loaded[i].arrival, original[i].arrival);
+    EXPECT_EQ(loaded[i].deadline, original[i].deadline);
+  }
+}
+
+TEST(TraceIo, RoundTripsAGeneratedTrace) {
+  const PetMatrix pet = test::pet_of({{{{100, 1.0}}}, {{{50, 1.0}}}});
+  WorkloadConfig config;
+  config.n_tasks = 200;
+  config.seed = 5;
+  const Trace original = generate_trace(pet, 4, config);
+  std::stringstream buffer;
+  write_trace_csv(buffer, original);
+  const Trace loaded = read_trace_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_TRUE(validate_trace(loaded, pet.task_type_count()));
+}
+
+TEST(TraceIo, EmptyTraceIsJustTheHeader) {
+  std::stringstream buffer;
+  write_trace_csv(buffer, {});
+  EXPECT_EQ(buffer.str(), "type,arrival,deadline\n");
+  EXPECT_TRUE(read_trace_csv(buffer).empty());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream buffer("0,10,100\n");
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedRow) {
+  std::stringstream buffer("type,arrival,deadline\n0;10;100\n");
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnsortedArrivals) {
+  std::stringstream buffer("type,arrival,deadline\n0,20,100\n0,10,100\n");
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsDeadlineBeforeArrival) {
+  std::stringstream buffer("type,arrival,deadline\n0,20,20\n");
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream buffer("type,arrival,deadline\n0,10,100\n\n1,20,200\n");
+  const Trace trace = read_trace_csv(buffer);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].type, 1);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "/tmp/taskdrop_trace_io_test.csv";
+  const Trace original = {{0, 1, 10}, {1, 2, 20}};
+  write_trace_csv_file(path, original);
+  const Trace loaded = read_trace_csv_file(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_csv_file("/nonexistent/path.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace taskdrop

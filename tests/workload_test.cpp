@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "workload/arrival.hpp"
+#include "workload/deadline.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace taskdrop {
+namespace {
+
+// ------------------------------ arrivals -----------------------------
+
+TEST(Arrival, CountAndMonotonicity) {
+  Rng rng(1);
+  const auto arrivals = generate_arrivals(rng, 500, 0.1, ArrivalPattern::Poisson);
+  ASSERT_EQ(arrivals.size(), 500u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_LE(arrivals[i - 1], arrivals[i]);
+  }
+  EXPECT_GE(arrivals.front(), 1);
+}
+
+TEST(Arrival, PoissonMeanRateApproximatelyCorrect) {
+  Rng rng(2);
+  const double rate = 0.05;  // one task per 20 ticks
+  const auto arrivals =
+      generate_arrivals(rng, 20000, rate, ArrivalPattern::Poisson);
+  const double measured =
+      static_cast<double>(arrivals.size()) / static_cast<double>(arrivals.back());
+  EXPECT_NEAR(measured, rate, rate * 0.05);
+}
+
+TEST(Arrival, BurstyPreservesMeanRate) {
+  Rng rng(3);
+  const double rate = 0.05;
+  const auto arrivals =
+      generate_arrivals(rng, 20000, rate, ArrivalPattern::Bursty);
+  const double measured =
+      static_cast<double>(arrivals.size()) / static_cast<double>(arrivals.back());
+  EXPECT_NEAR(measured, rate, rate * 0.15);
+}
+
+TEST(Arrival, BurstyIsSpikierThanPoisson) {
+  // Compare the variance of per-window counts: bursty arrivals must show
+  // larger dispersion at the same mean rate.
+  const double rate = 0.05;
+  auto window_count_variance = [&](ArrivalPattern pattern, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto arrivals = generate_arrivals(rng, 20000, rate, pattern);
+    const Tick window = 2000;
+    std::vector<double> counts;
+    std::size_t i = 0;
+    for (Tick start = 0; start < arrivals.back(); start += window) {
+      double c = 0;
+      while (i < arrivals.size() && arrivals[i] < start + window) {
+        ++c;
+        ++i;
+      }
+      counts.push_back(c);
+    }
+    double mean = 0;
+    for (double c : counts) mean += c;
+    mean /= static_cast<double>(counts.size());
+    double var = 0;
+    for (double c : counts) var += (c - mean) * (c - mean);
+    return var / static_cast<double>(counts.size());
+  };
+  EXPECT_GT(window_count_variance(ArrivalPattern::Bursty, 4),
+            2.0 * window_count_variance(ArrivalPattern::Poisson, 4));
+}
+
+TEST(Arrival, ZeroTasks) {
+  Rng rng(5);
+  EXPECT_TRUE(generate_arrivals(rng, 0, 0.1, ArrivalPattern::Poisson).empty());
+}
+
+// ------------------------------ deadline -----------------------------
+
+TEST(Deadline, PaperRuleExactArithmetic) {
+  // delta_i = arr_i + avg_i + gamma * avg_all
+  EXPECT_EQ(assign_deadline(1000, 120.0, 125.0, 1.0), 1000 + 245);
+  EXPECT_EQ(assign_deadline(1000, 120.0, 125.0, 4.0), 1000 + 620);
+  EXPECT_EQ(assign_deadline(0, 50.0, 100.0, 0.0), 50);
+}
+
+TEST(Deadline, RoundsToNearestTick) {
+  EXPECT_EQ(assign_deadline(0, 10.4, 10.0, 0.01), 11);  // 10.5 -> 11
+  EXPECT_EQ(assign_deadline(0, 10.3, 10.0, 0.01), 10);  // 10.4 -> 10
+}
+
+// ------------------------------ trace --------------------------------
+
+TEST(Trace, ValidationCatchesDefects) {
+  Trace good = {{0, 10, 100}, {1, 20, 120}};
+  EXPECT_TRUE(validate_trace(good, 2));
+  EXPECT_FALSE(validate_trace(good, 1));  // type 1 out of range
+
+  Trace unsorted = {{0, 20, 100}, {0, 10, 120}};
+  EXPECT_FALSE(validate_trace(unsorted, 1));
+
+  Trace bad_deadline = {{0, 10, 10}};
+  EXPECT_FALSE(validate_trace(bad_deadline, 1));
+}
+
+// ----------------------------- generator -----------------------------
+
+TEST(Generator, ProducesValidTraceWithPaperDeadlines) {
+  const PetMatrix pet = test::pet_of(
+      {{{{100, 1.0}}, {{200, 1.0}}}, {{{50, 1.0}}, {{150, 1.0}}}});
+  WorkloadConfig config;
+  config.n_tasks = 300;
+  config.oversubscription = 2.0;
+  config.gamma = 1.0;
+  config.seed = 9;
+  const Trace trace = generate_trace(pet, 2, config);
+  ASSERT_EQ(trace.size(), 300u);
+  EXPECT_TRUE(validate_trace(trace, pet.task_type_count()));
+  for (const TaskSpec& spec : trace) {
+    const double avg_i = pet.mean_over_machines(spec.type);
+    const Tick expected =
+        assign_deadline(spec.arrival, avg_i, pet.mean_overall(), config.gamma);
+    EXPECT_EQ(spec.deadline, expected);
+  }
+}
+
+TEST(Generator, DeterministicPerSeedDistinctAcrossSeeds) {
+  const PetMatrix pet = test::pet_of({{{{100, 1.0}}}});
+  WorkloadConfig config;
+  config.n_tasks = 100;
+  config.seed = 5;
+  const Trace a = generate_trace(pet, 4, config);
+  const Trace b = generate_trace(pet, 4, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+  config.seed = 6;
+  const Trace c = generate_trace(pet, 4, config);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].arrival != c[i].arrival) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Generator, OversubscriptionCompressesTheArrivalWindow) {
+  const PetMatrix pet = test::pet_of({{{{100, 1.0}}}});
+  WorkloadConfig config;
+  config.n_tasks = 2000;
+  config.seed = 7;
+  config.oversubscription = 1.0;
+  const Tick window_1x = generate_trace(pet, 8, config).back().arrival;
+  config.oversubscription = 4.0;
+  const Tick window_4x = generate_trace(pet, 8, config).back().arrival;
+  // 4x the arrival rate -> about a quarter of the window.
+  EXPECT_NEAR(static_cast<double>(window_4x),
+              static_cast<double>(window_1x) / 4.0,
+              static_cast<double>(window_1x) * 0.05);
+}
+
+TEST(Generator, TaskTypesCoverTheWholePet) {
+  const PetMatrix pet = test::pet_of(
+      {{{{100, 1.0}}}, {{{100, 1.0}}}, {{{100, 1.0}}}});
+  WorkloadConfig config;
+  config.n_tasks = 600;
+  config.seed = 8;
+  const Trace trace = generate_trace(pet, 2, config);
+  std::vector<int> seen(3, 0);
+  for (const TaskSpec& spec : trace) {
+    ++seen[static_cast<std::size_t>(spec.type)];
+  }
+  for (int count : seen) EXPECT_GT(count, 100);  // roughly uniform
+}
+
+}  // namespace
+}  // namespace taskdrop
