@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run every micro benchmark and merge the results into one JSON baseline.
+#
+#   bench/run_all.sh <bin-dir> [out.json]
+#
+# <bin-dir> is the directory holding the micro_* binaries (e.g.
+# build/bench). Also available as `cmake --build build --target bench_micro`,
+# which writes BENCH_micro.json in the repository root.
+set -euo pipefail
+
+bin_dir=${1:?usage: run_all.sh <bin-dir> [out.json]}
+out=${2:-BENCH_micro.json}
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+
+benches=(micro_completion micro_convolution micro_dropper)
+for bench in "${benches[@]}"; do
+  exe="$bin_dir/$bench"
+  if [[ ! -x "$exe" ]]; then
+    echo "error: $exe not found or not executable (build the bench targets first)" >&2
+    exit 1
+  fi
+  echo "== $bench =="
+  "$exe" --benchmark_format=console \
+         --benchmark_out="$tmp_dir/$bench.json" \
+         --benchmark_out_format=json
+done
+
+python3 - "$out" "$tmp_dir" "${benches[@]}" <<'EOF'
+import json, sys
+out, tmp_dir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {"schema": "taskdrop-bench-micro/v1", "benchmarks": {}}
+for name in names:
+    with open(f"{tmp_dir}/{name}.json") as fh:
+        merged["benchmarks"][name] = json.load(fh)
+merged["context"] = merged["benchmarks"][names[0]].get("context", {})
+with open(out, "w") as fh:
+    json.dump(merged, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {out}")
+EOF

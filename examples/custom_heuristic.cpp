@@ -68,9 +68,9 @@ class LastChanceDropper final : public Dropper {
 };
 
 double run_once(const Scenario& scenario, Mapper& mapper, Dropper& dropper,
-                std::uint64_t seed) {
+                std::uint64_t seed, int n_tasks) {
   WorkloadConfig workload;
-  workload.n_tasks = 3000;
+  workload.n_tasks = n_tasks;
   workload.oversubscription = 3.0;
   workload.seed = seed;
   const Trace trace =
@@ -88,6 +88,7 @@ double run_once(const Scenario& scenario, Mapper& mapper, Dropper& dropper,
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto n_tasks = static_cast<int>(flags.get_int("tasks", 3000));
   const Scenario scenario = make_scenario(ScenarioKind::SpecHC, seed);
 
   Table table({"mapper", "dropper", "robustness (%)"});
@@ -95,7 +96,7 @@ int main(int argc, char** argv) {
                            Dropper& dropper) {
     table.row().cell(label).cell(
         std::string(dropper.name()));
-    table.cell(run_once(scenario, mapper, dropper, seed));
+    table.cell(run_once(scenario, mapper, dropper, seed, n_tasks));
   };
 
   RandomMapper random_a(seed), random_b(seed), random_c(seed);

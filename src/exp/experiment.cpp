@@ -17,6 +17,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   assert(config.trials >= 1);
   std::optional<Scenario> local;
   const Scenario* scenario = prebuilt;
+  // Validate the mapper/dropper names on the calling thread: an exception
+  // escaping a pool worker would std::terminate instead of reaching the
+  // caller's catch.
+  make_mapper(config.mapper, config.candidate_window);
+  make_dropper(config.dropper);
+
   if (scenario == nullptr) {
     local.emplace(build_scenario(config));
     scenario = &*local;

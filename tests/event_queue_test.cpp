@@ -64,7 +64,9 @@ TEST(EventQueue, RandomisedOrderingIsTotallyConsistent) {
     const Event event = queue.pop();
     if (!first) {
       ASSERT_GE(event.time, prev_time);
-      if (event.time == prev_time) ASSERT_GT(event.seq, prev_seq);
+      if (event.time == prev_time) {
+        ASSERT_GT(event.seq, prev_seq);
+      }
     }
     prev_time = event.time;
     prev_seq = event.seq;

@@ -112,7 +112,7 @@ TEST(Pamd, MapsViableTasksLikePam) {
 }
 
 TEST(ExtraMappers, AreRegistered) {
-  for (const std::string& name : {"MaxMin", "MET", "RR", "PAMD"}) {
+  for (const std::string name : {"MaxMin", "MET", "RR", "PAMD"}) {
     EXPECT_NE(make_mapper(name), nullptr) << name;
   }
 }

@@ -24,7 +24,7 @@ MachineId machine_of(const SystemSandbox& sandbox, TaskId task) {
 }
 
 TEST(Registry, KnowsAllMappersAndRejectsUnknown) {
-  for (const std::string& name :
+  for (const std::string name :
        {"MM", "MinMin", "MSD", "PAM", "FCFS", "SJF", "EDF"}) {
     EXPECT_NE(make_mapper(name), nullptr) << name;
   }

@@ -1,13 +1,13 @@
-// taskdrop_cli — run one experiment configuration from the command line.
-//
-//   taskdrop_cli --scenario=spec_hc --mapper=PAM --dropper=heuristic \
-//                --tasks=3000 --oversub=3.0 --trials=8 [--eta=2] [--beta=1] \
-//                [--threshold=0.5] [--gamma=4] [--capacity=6] [--seed=42] \
-//                [--bursty] [--failures --mtbf=60000 --mttr=3000] \
-//                [--trace-out=trace.csv] [--csv]
-//
-// Droppers: reactive | heuristic | optimal | threshold | approx.
-// Scenarios: spec_hc | video | homogeneous.
+/* taskdrop_cli — run one experiment configuration from the command line.
+
+     taskdrop_cli --scenario=spec_hc --mapper=PAM --dropper=heuristic \
+                  --tasks=3000 --oversub=3.0 --trials=8 [--eta=2] [--beta=1] \
+                  [--threshold=0.5] [--gamma=4] [--capacity=6] [--seed=42] \
+                  [--bursty] [--failures --mtbf=60000 --mttr=3000] \
+                  [--trace-out=trace.csv] [--csv]
+
+   Droppers: reactive | heuristic | optimal | threshold | approx.
+   Scenarios: spec_hc | video | homogeneous. */
 #include <iostream>
 #include <stdexcept>
 
