@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_micro.json against the committed baseline.
+
+    bench/check_threshold.py BASELINE NEW [--max-ratio 3.0]
+
+Fails (exit 1) when any benchmark's cpu_time regressed by more than
+--max-ratio x its baseline. The default is deliberately loose: CI runners
+are noisy and shared, so this catches order-of-magnitude regressions (an
+accidental O(n^2) in the convolution hot path), not percent-level drift —
+tighten locally when comparing runs on one quiet machine.
+
+Benchmarks present on only one side are reported but never fail the check,
+so adding or retiring a micro bench does not break CI.
+"""
+import argparse
+import json
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as fh:
+        merged = json.load(fh)
+    if merged.get("schema") != "taskdrop-bench-micro/v1":
+        sys.exit(f"{path}: unexpected schema {merged.get('schema')!r}")
+    times = {}
+    for suite, payload in merged["benchmarks"].items():
+        for bench in payload.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            key = f"{suite}/{bench['name']}"
+            times[key] = bench["cpu_time"] * UNIT_NS[bench.get("time_unit", "ns")]
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--max-ratio", type=float, default=3.0,
+                        help="fail when new/baseline cpu_time exceeds this")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.new)
+
+    failures = []
+    for key in sorted(baseline.keys() | fresh.keys()):
+        if key not in baseline:
+            print(f"  NEW      {key} (no baseline)")
+            continue
+        if key not in fresh:
+            print(f"  MISSING  {key} (baseline only)")
+            continue
+        ratio = fresh[key] / baseline[key]
+        status = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"  {status:<8} {key}: {baseline[key]:.1f} ns -> "
+              f"{fresh[key]:.1f} ns ({ratio:.2f}x)")
+        if ratio > args.max_ratio:
+            failures.append((key, ratio))
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.max_ratio}x:", file=sys.stderr)
+        for key, ratio in failures:
+            print(f"  {key}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nall benchmarks within {args.max_ratio}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <exception>
 #include <iostream>
 
 #include "exp/figures.hpp"
@@ -8,22 +9,29 @@
 namespace taskdrop::benchmain {
 
 /// Shared driver for the per-figure bench binaries: parses --full /
-/// --trials / --divisor / --seed / --csv, runs the figure generator and
-/// prints the table.
+/// --trials / --divisor / --seed / --csv, runs the figure generator
+/// (declared as a SweepSpec in src/exp/figures.cpp) and prints the table.
+/// Flag-validation errors (e.g. --trials=0) report to stderr and exit 1.
 template <typename FigureFn>
 int run_figure(int argc, char** argv, const char* title, FigureFn figure) {
-  const Flags flags(argc, argv);
-  const FigureScale scale = FigureScale::from_flags(flags);
-  std::cout << title << '\n'
-            << "scale: divisor=" << scale.tasks_divisor
-            << " trials=" << scale.trials << " seed=" << scale.seed << "\n\n";
-  const Table table = figure(scale);
-  if (flags.get_bool("csv")) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
+  try {
+    const Flags flags(argc, argv);
+    const FigureScale scale = FigureScale::from_flags(flags);
+    std::cout << title << '\n'
+              << "scale: divisor=" << scale.tasks_divisor
+              << " trials=" << scale.trials << " seed=" << scale.seed
+              << "\n\n";
+    const Table table = figure(scale);
+    if (flags.get_bool("csv")) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 1;
   }
-  return 0;
 }
 
 }  // namespace taskdrop::benchmain

@@ -1,7 +1,7 @@
 #include "exp/experiment.hpp"
 
-#include <cassert>
 #include <optional>
+#include <stdexcept>
 
 #include "cost/cost_model.hpp"
 #include "util/thread_pool.hpp"
@@ -12,9 +12,56 @@ Scenario build_scenario(const ExperimentConfig& config) {
   return make_scenario(config.scenario, config.seed);
 }
 
+TrialMetrics run_trial(const ExperimentConfig& config,
+                       const Scenario& scenario, const CostModel& cost_model,
+                       std::size_t trial) {
+  WorkloadConfig workload = config.workload;
+  workload.seed = Rng::derive(config.seed, trial)();
+
+  const Trace trace =
+      generate_trace(scenario.pet, scenario.machine_count(), workload);
+
+  auto mapper = make_mapper(config.mapper, config.candidate_window);
+  auto dropper = make_dropper(config.dropper);
+
+  EngineConfig engine_config;
+  engine_config.queue_capacity = config.queue_capacity;
+  engine_config.engagement = config.engagement;
+  engine_config.condition_running = config.condition_running;
+  engine_config.exec_seed = Rng::derive(config.seed, 1000 + trial)();
+  engine_config.failures = config.failures;
+  engine_config.failures.seed = Rng::derive(config.seed, 2000 + trial)();
+  engine_config.approx = config.approx;
+  if (config.dropper.kind == DropperConfig::Kind::Approx) {
+    engine_config.approx.enabled = true;
+  }
+
+  Engine engine(scenario.pet, scenario.profile.machine_types, *mapper,
+                *dropper, engine_config);
+  const SimResult result = engine.run(trace);
+  return compute_trial_metrics(result, cost_model, config.exclude_head,
+                               config.exclude_tail,
+                               engine_config.approx.utility_weight);
+}
+
+ExperimentResult summarize_trials(std::vector<TrialMetrics> trials) {
+  ExperimentResult out;
+  out.robustness = summarize(series(trials, &TrialMetrics::robustness_pct));
+  out.utility = summarize(series(trials, &TrialMetrics::utility_pct));
+  out.normalized_cost =
+      summarize(series(trials, &TrialMetrics::normalized_cost));
+  out.reactive_share =
+      summarize(series(trials, &TrialMetrics::reactive_drop_share_pct));
+  out.trials = std::move(trials);
+  return out;
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 const Scenario* prebuilt) {
-  assert(config.trials >= 1);
+  if (config.trials < 1) {
+    throw std::invalid_argument("experiment trials must be >= 1, got " +
+                                std::to_string(config.trials));
+  }
   std::optional<Scenario> local;
   const Scenario* scenario = prebuilt;
   // Validate the mapper/dropper names on the calling thread: an exception
@@ -30,46 +77,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   const CostModel cost_model(scenario->profile.cost_per_hour);
 
   std::vector<TrialMetrics> trials(static_cast<std::size_t>(config.trials));
-  ThreadPool::parallel_for(
-      trials.size(), [&](std::size_t trial) {
-        WorkloadConfig workload = config.workload;
-        workload.seed = Rng::derive(config.seed, trial)();
+  ThreadPool::parallel_for(trials.size(), [&](std::size_t trial) {
+    trials[trial] = run_trial(config, *scenario, cost_model, trial);
+  });
 
-        const Trace trace = generate_trace(
-            scenario->pet, scenario->machine_count(), workload);
-
-        auto mapper = make_mapper(config.mapper, config.candidate_window);
-        auto dropper = make_dropper(config.dropper);
-
-        EngineConfig engine_config;
-        engine_config.queue_capacity = config.queue_capacity;
-        engine_config.engagement = config.engagement;
-        engine_config.condition_running = config.condition_running;
-        engine_config.exec_seed = Rng::derive(config.seed, 1000 + trial)();
-        engine_config.failures = config.failures;
-        engine_config.failures.seed = Rng::derive(config.seed, 2000 + trial)();
-        engine_config.approx = config.approx;
-        if (config.dropper.kind == DropperConfig::Kind::Approx) {
-          engine_config.approx.enabled = true;
-        }
-
-        Engine engine(scenario->pet, scenario->profile.machine_types, *mapper,
-                      *dropper, engine_config);
-        const SimResult result = engine.run(trace);
-        trials[trial] = compute_trial_metrics(
-            result, cost_model, config.exclude_head, config.exclude_tail,
-            engine_config.approx.utility_weight);
-      });
-
-  ExperimentResult out;
-  out.robustness = summarize(series(trials, &TrialMetrics::robustness_pct));
-  out.utility = summarize(series(trials, &TrialMetrics::utility_pct));
-  out.normalized_cost =
-      summarize(series(trials, &TrialMetrics::normalized_cost));
-  out.reactive_share =
-      summarize(series(trials, &TrialMetrics::reactive_drop_share_pct));
-  out.trials = std::move(trials);
-  return out;
+  return summarize_trials(std::move(trials));
 }
 
 }  // namespace taskdrop

@@ -49,12 +49,24 @@ struct ExperimentResult {
 /// Runs all trials of one configuration, in parallel across hardware
 /// threads. Trial i uses workload seed derive(seed, i) and execution seed
 /// derive(seed, 1000 + i); results are bitwise reproducible for a fixed
-/// toolchain regardless of thread scheduling.
+/// toolchain regardless of thread scheduling. Throws std::invalid_argument
+/// for trials < 1 and for unknown mapper/dropper names.
 ///
 /// `prebuilt` lets a sweep share one Scenario (the PET matrix depends only
 /// on (scenario, seed), so figures build it once).
 ExperimentResult run_experiment(const ExperimentConfig& config,
                                 const Scenario* prebuilt = nullptr);
+
+/// One trial of `config` against a prebuilt scenario — the kernel shared by
+/// run_experiment and the SweepRunner, so a sweep cell and a standalone
+/// run_experiment on the same config are bitwise-identical by construction.
+/// `cost_model` must be built from `scenario.profile.cost_per_hour`.
+TrialMetrics run_trial(const ExperimentConfig& config,
+                       const Scenario& scenario, const CostModel& cost_model,
+                       std::size_t trial);
+
+/// Reduces per-trial metrics into the summaries of ExperimentResult.
+ExperimentResult summarize_trials(std::vector<TrialMetrics> trials);
 
 /// The scenario a config would build (for sharing across a sweep).
 Scenario build_scenario(const ExperimentConfig& config);

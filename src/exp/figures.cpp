@@ -1,26 +1,55 @@
 #include "exp/figures.hpp"
 
-#include "exp/experiment.hpp"
+#include <stdexcept>
+
+#include "exp/sweep.hpp"
 
 namespace taskdrop {
 namespace {
 
-/// Builds the shared base config for one figure cell.
-ExperimentConfig base_config(ScenarioKind scenario, const OversubLevel& level,
-                             const FigureScale& scale) {
-  ExperimentConfig config;
-  config.scenario = scenario;
-  config.workload.n_tasks = level.n_tasks;
-  config.workload.oversubscription = level.oversubscription;
-  config.trials = scale.trials;
-  config.seed = scale.seed;
-  return config;
+/// The paper's levels as sweep-axis entries.
+std::vector<SweepLevel> sweep_levels(const FigureScale& scale) {
+  std::vector<SweepLevel> entries;
+  for (const OversubLevel& level : oversubscription_levels(scale)) {
+    entries.push_back({level.label, level.n_tasks, level.oversubscription});
+  }
+  return entries;
+}
+
+/// Shared base for every figure: SpecHC across all three levels at the
+/// requested scale. Figures override the axes they sweep.
+SweepSpec base_spec(const std::string& name, const FigureScale& scale) {
+  SweepSpec spec;
+  spec.name = name;
+  spec.scenarios = {ScenarioKind::SpecHC};
+  spec.levels = sweep_levels(scale);
+  spec.trials = scale.trials;
+  spec.seed = scale.seed;
+  return spec;
+}
+
+DropperVariant heuristic_variant(const std::string& label) {
+  return {label, DropperConfig::from_spec("heuristic")};
+}
+
+DropperVariant reactive_variant(const std::string& label) {
+  return {label, DropperConfig::from_spec("reactive")};
+}
+
+/// Mean of an integral per-trial counter.
+double trial_mean(const ExperimentResult& result,
+                  long long TrialMetrics::* field) {
+  double total = 0.0;
+  for (const TrialMetrics& trial : result.trials) {
+    total += static_cast<double>(trial.*field);
+  }
+  return total / static_cast<double>(result.trials.size());
 }
 
 /// Shared column layout for level-sweep tables: one (mean, ci) pair per
 /// oversubscription level.
 std::vector<std::string> level_headers(const std::string& first,
-                                       const std::vector<OversubLevel>& levels) {
+                                       const std::vector<SweepLevel>& levels) {
   std::vector<std::string> headers{first};
   for (const auto& level : levels) {
     headers.push_back(level.label + " robustness (%)");
@@ -41,6 +70,16 @@ FigureScale FigureScale::from_flags(const Flags& flags) {
       static_cast<int>(flags.get_int("divisor", scale.tasks_divisor));
   scale.trials = static_cast<int>(flags.get_int("trials", scale.trials));
   scale.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  // Fail fast with the flag name: a zero divisor would crash in level
+  // scaling and zero trials would surface as an empty-summary NaN later.
+  if (scale.trials < 1) {
+    throw std::invalid_argument("--trials must be >= 1, got " +
+                                std::to_string(scale.trials));
+  }
+  if (scale.tasks_divisor < 1) {
+    throw std::invalid_argument("--divisor must be >= 1, got " +
+                                std::to_string(scale.tasks_divisor));
+  }
   return scale;
 }
 
@@ -57,36 +96,45 @@ std::vector<OversubLevel> oversubscription_levels(const FigureScale& scale) {
 }
 
 Table fig5_effective_depth(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
-  Table table(level_headers("eta", levels));
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
-  const Scenario scenario = build_scenario(probe);
+  SweepSpec spec = base_spec("fig5 effective depth", scale);
+  spec.droppers.clear();
   for (int eta = 1; eta <= 5; ++eta) {
-    table.row().cell(static_cast<long long>(eta));
-    for (const auto& level : levels) {
-      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-      config.mapper = "PAM";
-      config.dropper = DropperConfig::heuristic(eta, 1.0);
-      const ExperimentResult result = run_experiment(config, &scenario);
-      table.cell(result.robustness.mean).cell(result.robustness.ci95);
+    spec.droppers.push_back(
+        {std::to_string(eta),
+         DropperConfig::from_spec("heuristic", {{"eta", std::to_string(eta)}})});
+  }
+  const SweepReport report = run_sweep(spec);
+
+  Table table(level_headers("eta", spec.levels));
+  for (const DropperVariant& variant : spec.droppers) {
+    table.row().cell(variant.label);
+    for (const SweepLevel& level : spec.levels) {
+      const auto& cell = cell_at(
+          report, {{"dropper", variant.label}, {"level", level.label}});
+      table.cell(cell.result.robustness.mean).cell(cell.result.robustness.ci95);
     }
   }
   return table;
 }
 
 Table fig6_beta(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
-  Table table(level_headers("beta", levels));
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
-  const Scenario scenario = build_scenario(probe);
+  SweepSpec spec = base_spec("fig6 beta", scale);
+  spec.droppers.clear();
   for (double beta = 1.0; beta <= 4.0 + 1e-9; beta += 0.5) {
-    table.row().cell(beta, 1);
-    for (const auto& level : levels) {
-      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-      config.mapper = "PAM";
-      config.dropper = DropperConfig::heuristic(2, beta);
-      const ExperimentResult result = run_experiment(config, &scenario);
-      table.cell(result.robustness.mean).cell(result.robustness.ci95);
+    spec.droppers.push_back(
+        {format_fixed(beta, 1),
+         DropperConfig::from_spec("heuristic",
+                                  {{"beta", format_fixed(beta, 1)}})});
+  }
+  const SweepReport report = run_sweep(spec);
+
+  Table table(level_headers("beta", spec.levels));
+  for (const DropperVariant& variant : spec.droppers) {
+    table.row().cell(variant.label);
+    for (const SweepLevel& level : spec.levels) {
+      const auto& cell = cell_at(
+          report, {{"dropper", variant.label}, {"level", level.label}});
+      table.cell(cell.result.robustness.mean).cell(cell.result.robustness.ci95);
     }
   }
   return table;
@@ -97,22 +145,25 @@ namespace {
 /// Shared body of Figs. 7a, 7b and 10: a mapper sweep with and without the
 /// proactive dropping heuristic, on one scenario and level.
 Table mapper_sweep(ScenarioKind kind, const std::vector<std::string>& mappers,
-                   const OversubLevel& level, const FigureScale& scale) {
+                   const SweepLevel& level, const FigureScale& scale) {
+  SweepSpec spec = base_spec("mapper sweep", scale);
+  spec.scenarios = {kind};
+  spec.levels = {level};
+  spec.mappers = mappers;
+  spec.droppers = {heuristic_variant("+Heuristic"),
+                   reactive_variant("+ReactDrop")};
+  const SweepReport report = run_sweep(spec);
+
   Table table({"mapper", "dropping", "robustness (%)", "ci95"});
-  ExperimentConfig probe = base_config(kind, level, scale);
-  const Scenario scenario = build_scenario(probe);
   for (const std::string& mapper : mappers) {
-    for (const bool heuristic : {true, false}) {
-      ExperimentConfig config = base_config(kind, level, scale);
-      config.mapper = mapper;
-      config.dropper = heuristic ? DropperConfig::heuristic()
-                                 : DropperConfig::reactive_only();
-      const ExperimentResult result = run_experiment(config, &scenario);
+    for (const DropperVariant& dropping : spec.droppers) {
+      const auto& cell = cell_at(
+          report, {{"mapper", mapper}, {"dropper", dropping.label}});
       table.row()
           .cell(mapper)
-          .cell(heuristic ? "+Heuristic" : "+ReactDrop")
-          .cell(result.robustness.mean)
-          .cell(result.robustness.ci95);
+          .cell(dropping.label)
+          .cell(cell.result.robustness.mean)
+          .cell(cell.result.robustness.ci95);
     }
   }
   return table;
@@ -121,75 +172,61 @@ Table mapper_sweep(ScenarioKind kind, const std::vector<std::string>& mappers,
 }  // namespace
 
 Table fig7a_hetero_mappers(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
+  const auto levels = sweep_levels(scale);
   return mapper_sweep(ScenarioKind::SpecHC, {"MSD", "MM", "PAM"}, levels[1],
                       scale);
 }
 
 Table fig7b_homog_mappers(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
+  const auto levels = sweep_levels(scale);
   return mapper_sweep(ScenarioKind::Homogeneous, {"FCFS", "EDF", "SJF", "PAM"},
                       levels[1], scale);
 }
 
 Table fig8_dropping_variants(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
+  SweepSpec spec = base_spec("fig8 dropping variants", scale);
+  spec.droppers = {{"PAM+Optimal", DropperConfig::from_spec("optimal")},
+                   {"PAM+Heuristic", DropperConfig::from_spec("heuristic")},
+                   {"PAM+Threshold", DropperConfig::from_spec("threshold")}};
+  const SweepReport report = run_sweep(spec);
+
   Table table({"level", "variant", "robustness (%)", "ci95",
                "reactive share of drops (%)"});
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
-  const Scenario scenario = build_scenario(probe);
-  struct Variant {
-    std::string label;
-    DropperConfig dropper;
-  };
-  const std::vector<Variant> variants = {
-      {"PAM+Optimal", DropperConfig::optimal()},
-      {"PAM+Heuristic", DropperConfig::heuristic()},
-      {"PAM+Threshold", DropperConfig::threshold()},
-  };
-  for (const auto& level : levels) {
-    for (const auto& variant : variants) {
-      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-      config.mapper = "PAM";
-      config.dropper = variant.dropper;
-      const ExperimentResult result = run_experiment(config, &scenario);
+  for (const SweepLevel& level : spec.levels) {
+    for (const DropperVariant& variant : spec.droppers) {
+      const auto& cell = cell_at(
+          report, {{"level", level.label}, {"dropper", variant.label}});
       table.row()
           .cell(level.label)
           .cell(variant.label)
-          .cell(result.robustness.mean)
-          .cell(result.robustness.ci95)
-          .cell(result.reactive_share.mean);
+          .cell(cell.result.robustness.mean)
+          .cell(cell.result.robustness.ci95)
+          .cell(cell.result.reactive_share.mean);
     }
   }
   return table;
 }
 
 Table fig9_cost(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
+  SweepSpec spec = base_spec("fig9 cost", scale);
+  // The three series differ in mapper and dropper at once, so a paired
+  // series list replaces the mappers x droppers cross product.
+  spec.series = {
+      {"PAM+Threshold", "PAM", DropperConfig::from_spec("threshold")},
+      {"PAM+Heuristic", "PAM", DropperConfig::from_spec("heuristic")},
+      {"MM+ReactDrop", "MM", DropperConfig::from_spec("reactive")}};
+  const SweepReport report = run_sweep(spec);
+
   Table table({"level", "variant", "cost / robustness ($)", "ci95"});
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
-  const Scenario scenario = build_scenario(probe);
-  struct Variant {
-    std::string label;
-    std::string mapper;
-    DropperConfig dropper;
-  };
-  const std::vector<Variant> variants = {
-      {"PAM+Threshold", "PAM", DropperConfig::threshold()},
-      {"PAM+Heuristic", "PAM", DropperConfig::heuristic()},
-      {"MM+ReactDrop", "MM", DropperConfig::reactive_only()},
-  };
-  for (const auto& level : levels) {
-    for (const auto& variant : variants) {
-      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-      config.mapper = variant.mapper;
-      config.dropper = variant.dropper;
-      const ExperimentResult result = run_experiment(config, &scenario);
+  for (const SweepLevel& level : spec.levels) {
+    for (const SeriesVariant& variant : spec.series) {
+      const auto& cell = cell_at(
+          report, {{"level", level.label}, {"dropper", variant.label}});
       table.row()
           .cell(level.label)
           .cell(variant.label)
-          .cell(result.normalized_cost.mean, 4)
-          .cell(result.normalized_cost.ci95, 4);
+          .cell(cell.result.normalized_cost.mean, 4)
+          .cell(cell.result.normalized_cost.ci95, 4);
     }
   }
   return table;
@@ -197,210 +234,206 @@ Table fig9_cost(const FigureScale& scale) {
 
 Table fig10_video(const FigureScale& scale) {
   // Section V-H: lower arrival rate, moderately oversubscribed system.
-  const OversubLevel level{"20k", 20000 / scale.tasks_divisor, 1.5};
+  const SweepLevel level{"20k", 20000 / scale.tasks_divisor, 1.5};
   return mapper_sweep(ScenarioKind::Video, {"MSD", "MM", "PAM"}, level, scale);
 }
 
 Table ablation_engagement(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
+  SweepSpec spec = base_spec("ablation engagement", scale);
+  spec.engagements = {DropperEngagement::EveryMappingEvent,
+                      DropperEngagement::OnDeadlineMiss};
+  const SweepReport report = run_sweep(spec);
+
+  // Display labels annotate the axis names with the paper reference.
+  const auto policy_label = [](DropperEngagement engagement) {
+    return engagement == DropperEngagement::EveryMappingEvent
+               ? "every-event (Fig. 4)"
+               : "on-deadline-miss (V-A)";
+  };
   Table table({"level", "engagement", "robustness (%)", "ci95",
                "dropper invocations / trial"});
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
-  const Scenario scenario = build_scenario(probe);
-  struct Policy {
-    std::string label;
-    DropperEngagement engagement;
-  };
-  const std::vector<Policy> policies = {
-      {"every-event (Fig. 4)", DropperEngagement::EveryMappingEvent},
-      {"on-deadline-miss (V-A)", DropperEngagement::OnDeadlineMiss},
-  };
-  for (const auto& level : levels) {
-    for (const auto& policy : policies) {
-      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-      config.mapper = "PAM";
-      config.dropper = DropperConfig::heuristic();
-      config.engagement = policy.engagement;
-      const ExperimentResult result = run_experiment(config, &scenario);
-      double invocations = 0.0;
-      for (const TrialMetrics& trial : result.trials) {
-        invocations += static_cast<double>(trial.dropper_invocations);
-      }
-      invocations /= static_cast<double>(result.trials.size());
+  for (const SweepLevel& level : spec.levels) {
+    for (const DropperEngagement engagement : spec.engagements) {
+      const auto& cell = cell_at(
+          report,
+          {{"level", level.label},
+           {"engagement", std::string(engagement_name(engagement))}});
       table.row()
           .cell(level.label)
-          .cell(policy.label)
-          .cell(result.robustness.mean)
-          .cell(result.robustness.ci95)
-          .cell(invocations, 0);
+          .cell(policy_label(engagement))
+          .cell(cell.result.robustness.mean)
+          .cell(cell.result.robustness.ci95)
+          .cell(trial_mean(cell.result, &TrialMetrics::dropper_invocations),
+                0);
     }
   }
   return table;
 }
 
 Table ablation_conditioning(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
+  SweepSpec spec = base_spec("ablation conditioning", scale);
+  spec.conditioning = {false, true};
+  const SweepReport report = run_sweep(spec);
+
   Table table({"level", "running-task model", "robustness (%)", "ci95"});
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
-  const Scenario scenario = build_scenario(probe);
-  for (const auto& level : levels) {
-    for (const bool conditioned : {false, true}) {
-      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-      config.mapper = "PAM";
-      config.dropper = DropperConfig::heuristic();
-      config.condition_running = conditioned;
-      const ExperimentResult result = run_experiment(config, &scenario);
+  for (const SweepLevel& level : spec.levels) {
+    for (const bool conditioned : spec.conditioning) {
+      const auto& cell = cell_at(
+          report, {{"level", level.label},
+                   {"conditioning",
+                    conditioned ? "conditioned" : "unconditioned"}});
       table.row()
           .cell(level.label)
           .cell(conditioned ? "conditioned" : "unconditioned (paper)")
-          .cell(result.robustness.mean)
-          .cell(result.robustness.ci95);
+          .cell(cell.result.robustness.mean)
+          .cell(cell.result.robustness.ci95);
     }
   }
   return table;
 }
 
 Table ablation_failures(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
-  const OversubLevel& level = levels[1];  // 30k
-  Table table({"MTBF (ticks)", "dropping", "robustness (%)", "ci95",
-               "lost to failure / trial"});
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, level, scale);
-  const Scenario scenario = build_scenario(probe);
+  SweepSpec spec = base_spec("ablation failures", scale);
+  spec.levels = {sweep_levels(scale)[1]};  // 30k
+  spec.droppers = {reactive_variant("+ReactDrop"),
+                   heuristic_variant("+Heuristic")};
   // Infinity (failures off), then increasingly failure-prone machines.
   const std::vector<double> mtbfs = {0.0, 120000.0, 60000.0, 30000.0, 15000.0};
+  spec.failures.clear();
   for (const double mtbf : mtbfs) {
-    for (const bool heuristic : {false, true}) {
-      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-      config.mapper = "PAM";
-      config.dropper = heuristic ? DropperConfig::heuristic()
-                                 : DropperConfig::reactive_only();
-      if (mtbf > 0.0) {
-        config.failures.enabled = true;
-        config.failures.mean_time_between_failures = mtbf;
-        config.failures.mean_time_to_repair = 3000.0;
-      }
-      const ExperimentResult result = run_experiment(config, &scenario);
-      double lost = 0.0;
-      for (const TrialMetrics& trial : result.trials) {
-        lost += static_cast<double>(trial.lost_to_failure);
-      }
-      lost /= static_cast<double>(result.trials.size());
+    FailureModel model;
+    if (mtbf > 0.0) {
+      model.enabled = true;
+      model.mean_time_between_failures = mtbf;
+      model.mean_time_to_repair = 3000.0;
+    }
+    spec.failures.push_back(
+        {mtbf > 0.0 ? "mtbf=" + format_fixed(mtbf, 0) : "off", model});
+  }
+  const SweepReport report = run_sweep(spec);
+
+  Table table({"MTBF (ticks)", "dropping", "robustness (%)", "ci95",
+               "lost to failure / trial"});
+  for (const FailureVariant& failure : spec.failures) {
+    for (const DropperVariant& dropping : spec.droppers) {
+      const auto& cell = cell_at(
+          report,
+          {{"failures", failure.label}, {"dropper", dropping.label}});
       table.row()
-          .cell(mtbf > 0.0 ? format_fixed(mtbf, 0) : "no failures")
-          .cell(heuristic ? "+Heuristic" : "+ReactDrop")
-          .cell(result.robustness.mean)
-          .cell(result.robustness.ci95)
-          .cell(lost, 1);
+          .cell(failure.model.enabled
+                    ? format_fixed(failure.model.mean_time_between_failures, 0)
+                    : "no failures")
+          .cell(dropping.label)
+          .cell(cell.result.robustness.mean)
+          .cell(cell.result.robustness.ci95)
+          .cell(trial_mean(cell.result, &TrialMetrics::lost_to_failure), 1);
     }
   }
   return table;
 }
 
 Table ablation_approx(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
+  SweepSpec spec = base_spec("ablation approx", scale);
+  spec.droppers = {
+      {"ReactDrop", DropperConfig::from_spec("reactive")},
+      {"Heuristic (drop)", DropperConfig::from_spec("heuristic")},
+      {"Approx (drop/downgrade)", DropperConfig::from_spec("approx")}};
+  const SweepReport report = run_sweep(spec);
+
   Table table({"level", "mechanism", "robustness (%)", "utility (%)",
                "approx completions / trial"});
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, levels[0], scale);
-  const Scenario scenario = build_scenario(probe);
-  struct Mechanism {
-    std::string label;
-    DropperConfig dropper;
-  };
-  const std::vector<Mechanism> mechanisms = {
-      {"ReactDrop", DropperConfig::reactive_only()},
-      {"Heuristic (drop)", DropperConfig::heuristic()},
-      {"Approx (drop/downgrade)", DropperConfig::approximate()},
-  };
-  for (const auto& level : levels) {
-    for (const auto& mechanism : mechanisms) {
-      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-      config.mapper = "PAM";
-      config.dropper = mechanism.dropper;
-      const ExperimentResult result = run_experiment(config, &scenario);
-      double approx = 0.0;
-      for (const TrialMetrics& trial : result.trials) {
-        approx += static_cast<double>(trial.approx_on_time);
-      }
-      approx /= static_cast<double>(result.trials.size());
+  for (const SweepLevel& level : spec.levels) {
+    for (const DropperVariant& mechanism : spec.droppers) {
+      const auto& cell = cell_at(
+          report, {{"level", level.label}, {"dropper", mechanism.label}});
       table.row()
           .cell(level.label)
           .cell(mechanism.label)
-          .cell(result.robustness.mean)
-          .cell(result.utility.mean)
-          .cell(approx, 1);
+          .cell(cell.result.robustness.mean)
+          .cell(cell.result.utility.mean)
+          .cell(trial_mean(cell.result, &TrialMetrics::approx_on_time), 1);
     }
   }
   return table;
 }
 
 Table ablation_deferral(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
-  const OversubLevel& level = levels[1];
+  SweepSpec spec = base_spec("ablation deferral", scale);
+  spec.levels = {sweep_levels(scale)[1]};
+  spec.mappers = {"PAM", "PAMD"};
+  spec.droppers = {reactive_variant("+ReactDrop"),
+                   heuristic_variant("+Heuristic")};
+  const SweepReport report = run_sweep(spec);
+
   Table table({"mapper", "dropping", "robustness (%)", "ci95"});
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, level, scale);
-  const Scenario scenario = build_scenario(probe);
-  for (const std::string mapper : {"PAM", "PAMD"}) {
-    for (const bool heuristic : {false, true}) {
-      ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-      config.mapper = mapper;
-      config.dropper = heuristic ? DropperConfig::heuristic()
-                                 : DropperConfig::reactive_only();
-      const ExperimentResult result = run_experiment(config, &scenario);
+  for (const std::string& mapper : spec.mappers) {
+    for (const DropperVariant& dropping : spec.droppers) {
+      const auto& cell = cell_at(
+          report, {{"mapper", mapper}, {"dropper", dropping.label}});
       table.row()
           .cell(mapper)
-          .cell(heuristic ? "+Heuristic" : "+ReactDrop")
-          .cell(result.robustness.mean)
-          .cell(result.robustness.ci95);
+          .cell(dropping.label)
+          .cell(cell.result.robustness.mean)
+          .cell(cell.result.robustness.ci95);
     }
   }
   return table;
 }
 
 Table ablation_gamma(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
-  const OversubLevel& level = levels[1];
+  SweepSpec spec = base_spec("ablation gamma", scale);
+  spec.levels = {sweep_levels(scale)[1]};
+  spec.gammas = {1.0, 2.0, 3.0, 4.0, 6.0, 8.0};
+  spec.droppers = {reactive_variant("+ReactDrop"),
+                   heuristic_variant("+Heuristic")};
+  const SweepReport report = run_sweep(spec);
+
   Table table({"gamma", "ReactDrop robustness (%)", "Heuristic robustness (%)",
                "gain (pp)"});
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, level, scale);
-  const Scenario scenario = build_scenario(probe);
-  for (const double gamma : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0}) {
-    ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-    config.mapper = "PAM";
-    config.workload.gamma = gamma;
-    config.dropper = DropperConfig::reactive_only();
-    const ExperimentResult reactive = run_experiment(config, &scenario);
-    config.dropper = DropperConfig::heuristic();
-    const ExperimentResult proactive = run_experiment(config, &scenario);
+  for (const double gamma : spec.gammas) {
+    const auto by_gamma = [&](const std::string& dropper) -> const Summary& {
+      const SweepCellResult* cell =
+          find_cell(report, [&](const SweepCellResult& candidate) {
+            return candidate.config.workload.gamma == gamma &&
+                   candidate.point.dropper == dropper;
+          });
+      if (cell == nullptr) throw std::out_of_range("gamma cell missing");
+      return cell->result.robustness;
+    };
+    const Summary& reactive = by_gamma("+ReactDrop");
+    const Summary& proactive = by_gamma("+Heuristic");
     table.row()
         .cell(gamma, 1)
-        .cell(reactive.robustness.mean)
-        .cell(proactive.robustness.mean)
-        .cell(proactive.robustness.mean - reactive.robustness.mean);
+        .cell(reactive.mean)
+        .cell(proactive.mean)
+        .cell(proactive.mean - reactive.mean);
   }
   return table;
 }
 
 Table ablation_queue_capacity(const FigureScale& scale) {
-  const auto levels = oversubscription_levels(scale);
-  const OversubLevel& level = levels[1];
+  SweepSpec spec = base_spec("ablation queue capacity", scale);
+  spec.levels = {sweep_levels(scale)[1]};
+  spec.queue_capacities = {2, 4, 6, 8, 12};
+  spec.droppers = {reactive_variant("+ReactDrop"),
+                   heuristic_variant("+Heuristic")};
+  const SweepReport report = run_sweep(spec);
+
   Table table({"queue capacity", "ReactDrop robustness (%)",
                "Heuristic robustness (%)", "gain (pp)"});
-  ExperimentConfig probe = base_config(ScenarioKind::SpecHC, level, scale);
-  const Scenario scenario = build_scenario(probe);
-  for (const int capacity : {2, 4, 6, 8, 12}) {
-    ExperimentConfig config = base_config(ScenarioKind::SpecHC, level, scale);
-    config.mapper = "PAM";
-    config.queue_capacity = capacity;
-    config.dropper = DropperConfig::reactive_only();
-    const ExperimentResult reactive = run_experiment(config, &scenario);
-    config.dropper = DropperConfig::heuristic();
-    const ExperimentResult proactive = run_experiment(config, &scenario);
+  for (const int capacity : spec.queue_capacities) {
+    const auto& reactive =
+        cell_at(report, {{"capacity", std::to_string(capacity)},
+                         {"dropper", "+ReactDrop"}});
+    const auto& proactive =
+        cell_at(report, {{"capacity", std::to_string(capacity)},
+                         {"dropper", "+Heuristic"}});
     table.row()
         .cell(static_cast<long long>(capacity))
-        .cell(reactive.robustness.mean)
-        .cell(proactive.robustness.mean)
-        .cell(proactive.robustness.mean - reactive.robustness.mean);
+        .cell(reactive.result.robustness.mean)
+        .cell(proactive.result.robustness.mean)
+        .cell(proactive.result.robustness.mean -
+              reactive.result.robustness.mean);
   }
   return table;
 }

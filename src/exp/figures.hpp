@@ -20,6 +20,9 @@ struct FigureScale {
   int trials = 8;
   std::uint64_t seed = 42;
 
+  /// Throws std::invalid_argument when --trials < 1 or --divisor < 1, so a
+  /// bad flag fails up front instead of as a downstream division or an
+  /// empty summary.
   static FigureScale from_flags(const Flags& flags);
 };
 
@@ -33,7 +36,8 @@ struct OversubLevel {
 /// The paper's three levels, scaled.
 std::vector<OversubLevel> oversubscription_levels(const FigureScale& scale);
 
-// --- Figure regenerators (section V). Each returns the paper's series as a
+// --- Figure regenerators (section V). Each declares its grid as a
+// SweepSpec against exp/sweep.hpp and returns the paper's series as a
 // table of robustness (or cost) mean +/- 95 % CI over trials.
 
 /// Fig. 5: effective depth eta in {1..5} x three levels, PAM + Heuristic.

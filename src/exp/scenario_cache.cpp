@@ -1,0 +1,34 @@
+#include "exp/scenario_cache.hpp"
+
+namespace taskdrop {
+
+std::shared_ptr<const Scenario> ScenarioCache::get(ScenarioKind kind,
+                                                   std::uint64_t seed) {
+  const Key key{kind, seed};
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
+  }
+  // Build outside the lock: PET construction is the slow path and two
+  // threads racing on the same key both produce the identical scenario
+  // (make_scenario is deterministic in (kind, seed)), so last-writer-wins
+  // insertion below is benign.
+  auto built = std::make_shared<const Scenario>(make_scenario(kind, seed));
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] = cache_.emplace(key, std::move(built));
+  return it->second;
+}
+
+std::size_t ScenarioCache::size() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
+}
+
+void ScenarioCache::clear() {
+  std::lock_guard lock(mutex_);
+  cache_.clear();
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "workload/scenario.hpp"
+
+namespace taskdrop {
+
+/// Shares materialised scenarios across a sweep. A Scenario depends only on
+/// (kind, seed) — the PET matrix is frozen at build time — so every cell of
+/// a grid with the same pair can read one instance concurrently. Building
+/// the SpecHC PET is the expensive part (12 x 8 histogram fits), which is
+/// why the per-figure binaries always prebuilt a single scenario; the cache
+/// generalises that to arbitrary grids. Thread-safe.
+class ScenarioCache {
+ public:
+  /// Returns the cached scenario for (kind, seed), building it on first
+  /// use. The returned pointer stays valid for the caller's lifetime even
+  /// if the cache is cleared.
+  std::shared_ptr<const Scenario> get(ScenarioKind kind, std::uint64_t seed);
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  using Key = std::pair<ScenarioKind, std::uint64_t>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const Scenario>> cache_;
+};
+
+}  // namespace taskdrop

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario_cache.hpp"
+#include "util/spec_parser.hpp"
+
+namespace taskdrop {
+
+/// One workload level of a sweep. Task count and oversubscription move
+/// together (the paper's 20k/30k/40k levels scale both), so they form one
+/// labelled axis entry rather than two independent axes.
+struct SweepLevel {
+  std::string label;
+  int n_tasks = 3000;
+  double oversubscription = 3.0;
+};
+
+/// One dropper axis entry: a labelled DropperConfig ("PAM+Optimal", ...).
+struct DropperVariant {
+  std::string label;
+  DropperConfig config;
+};
+
+/// One failure axis entry ("off", "mtbf=60000", ...).
+struct FailureVariant {
+  std::string label;
+  FailureModel model;
+};
+
+/// One paired (mapper, dropper) series. When a figure's series differ in
+/// mapper and dropper at once (Fig. 9's MM+ReactDrop vs PAM+Heuristic),
+/// the cross product would run cells nobody reports; `SweepSpec::series`
+/// replaces the two axes with this explicit list instead.
+struct SeriesVariant {
+  std::string label;
+  std::string mapper;
+  DropperConfig dropper;
+};
+
+DropperEngagement engagement_from_name(const std::string& name);
+std::string_view engagement_name(DropperEngagement engagement);
+
+/// Every key SweepSpec::from_map understands, in documentation order. The
+/// single source of truth for the CLI's inline sweep flags and for
+/// unknown-key error messages.
+const std::vector<std::string>& sweep_spec_keys();
+
+/// Declarative description of an experiment grid: every axis is a list and
+/// the cross product of all axes expands into ExperimentConfigs. Defaults
+/// make every axis a singleton, so a default-constructed spec is one cell
+/// matching a default ExperimentConfig. Constructible from text via
+/// from_map (sweep files and CLI flags share the SpecMap shape).
+struct SweepSpec {
+  std::string name = "sweep";
+
+  // --- Axes (cross-multiplied, nesting order as declared).
+  std::vector<ScenarioKind> scenarios = {ScenarioKind::SpecHC};
+  std::vector<SweepLevel> levels = {{"3000@3.0", 3000, 3.0}};
+  std::vector<std::string> mappers = {"PAM"};
+  std::vector<DropperVariant> droppers = {
+      {"heuristic", DropperConfig::heuristic()}};
+  /// When non-empty, replaces the mappers x droppers cross product.
+  std::vector<SeriesVariant> series;
+  std::vector<double> gammas = {4.0};
+  std::vector<int> queue_capacities = {6};
+  std::vector<DropperEngagement> engagements = {
+      DropperEngagement::EveryMappingEvent};
+  std::vector<bool> conditioning = {false};
+  std::vector<FailureVariant> failures = {{"off", FailureModel{}}};
+
+  // --- Fixed (shared by every cell).
+  ArrivalPattern pattern = ArrivalPattern::Poisson;
+  ApproxModel approx;
+  int trials = 8;
+  std::uint64_t seed = 42;
+  int exclude_head = 100;
+  int exclude_tail = 100;
+  int candidate_window = 256;
+
+  /// Cells the cross product expands to.
+  std::size_t cell_count() const;
+
+  /// Rejects empty axes, trials < 1, non-positive task counts /
+  /// oversubscription / capacities and unknown mapper names, with an error
+  /// naming the offending key. Called by run_sweep.
+  void validate() const;
+
+  /// Builds a spec from parsed text (see util/spec_parser.hpp for the
+  /// accepted syntaxes). Every name goes through the registries —
+  /// scenario_from_name, make_mapper, DropperConfig::from_spec — so errors
+  /// list the available sets. Unknown keys throw, listing the known ones.
+  static SweepSpec from_map(const SpecMap& map);
+
+  /// Canonical SpecMap rendering; from_map(to_map()) is a fixpoint. The
+  /// dropper axis is emitted in grid form (names x eta/beta/threshold
+  /// lists), which reproduces any from_map-built spec exactly; hand-built
+  /// variant lists that do not form a grid re-expand to their enclosing
+  /// grid.
+  SpecMap to_map() const;
+};
+
+/// Axis labels identifying one expanded cell, in reporting form.
+struct SweepPoint {
+  std::string scenario;
+  std::string level;
+  std::string mapper;
+  std::string dropper;
+  std::string gamma;
+  std::string capacity;
+  std::string engagement;
+  std::string conditioning;
+  std::string failures;
+};
+
+/// Label of one named axis ("scenario", "level", "mapper", "dropper",
+/// "gamma", "capacity", "engagement", "conditioning", "failures").
+const std::string& axis_label(const SweepPoint& point,
+                              const std::string& axis);
+
+struct SweepCell {
+  SweepPoint point;
+  ExperimentConfig config;
+};
+
+/// The expanded cross product, in deterministic axis-nesting order
+/// (scenario outermost, failures innermost).
+std::vector<SweepCell> expand(const SweepSpec& spec);
+
+struct SweepCellResult {
+  SweepPoint point;
+  ExperimentConfig config;
+  ExperimentResult result;
+};
+
+/// Consolidated output of one sweep; metrics/report.hpp renders it as an
+/// aligned table, CSV or JSON.
+struct SweepReport {
+  std::string name;
+  /// Axes whose spec lists had more than one entry, in nesting order —
+  /// the identity columns of the long-format report.
+  std::vector<std::string> active_axes;
+  /// Expansion order (stable regardless of scheduling).
+  std::vector<SweepCellResult> cells;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  std::size_t threads = 0;
+  /// Optional externally shared cache (e.g. across several specs).
+  ScenarioCache* cache = nullptr;
+  /// Streaming progress: invoked once per finished cell (serialised, from
+  /// worker threads) with the completed cell and done/total counts.
+  std::function<void(const SweepCellResult&, std::size_t done,
+                     std::size_t total)>
+      on_cell;
+};
+
+/// Expands the spec and fans every (cell, trial) across one thread pool.
+/// Scenarios are shared through the cache — every cell with the same
+/// (scenario, seed) reads one instance — and each cell's result is
+/// bitwise-identical to run_experiment on its config.
+SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+/// First cell matching the predicate, or nullptr.
+const SweepCellResult* find_cell(
+    const SweepReport& report,
+    const std::function<bool(const SweepCellResult&)>& pred);
+
+/// The unique cell whose point matches every (axis, label) pair; throws
+/// std::out_of_range when absent.
+const SweepCellResult& cell_at(
+    const SweepReport& report,
+    std::initializer_list<std::pair<const char*, std::string>> where);
+
+}  // namespace taskdrop

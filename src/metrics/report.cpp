@@ -1,5 +1,7 @@
 #include "metrics/report.hpp"
 
+#include <ostream>
+
 namespace taskdrop {
 
 std::string format_summary(const Summary& summary, int precision) {
@@ -11,6 +13,91 @@ void add_summary_row(Table& table, const std::string& label,
                      const Summary& summary, int precision) {
   table.row().cell(label).cell(summary.mean, precision).cell(summary.ci95,
                                                              precision);
+}
+
+Table sweep_table(const SweepReport& report) {
+  std::vector<std::string> headers = report.active_axes;
+  headers.insert(headers.end(),
+                 {"robustness (%)", "ci95", "utility (%)",
+                  "cost/robustness ($)", "reactive share (%)"});
+  Table table(std::move(headers));
+  for (const SweepCellResult& cell : report.cells) {
+    table.row();
+    for (const std::string& axis : report.active_axes) {
+      table.cell(axis_label(cell.point, axis));
+    }
+    table.cell(cell.result.robustness.mean)
+        .cell(cell.result.robustness.ci95)
+        .cell(cell.result.utility.mean)
+        .cell(cell.result.normalized_cost.mean, 4)
+        .cell(cell.result.reactive_share.mean);
+  }
+  return table;
+}
+
+void write_sweep_csv(std::ostream& os, const SweepReport& report) {
+  sweep_table(report).print_csv(os);
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void write_summary_json(std::ostream& os, const char* key,
+                        const Summary& summary) {
+  os << '"' << key << "\": {\"mean\": " << summary.mean
+     << ", \"ci95\": " << summary.ci95 << '}';
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& os, const SweepReport& report) {
+  os << "{\n  \"schema\": \"taskdrop-sweep/v1\",\n  \"name\": \""
+     << json_escape(report.name) << "\",\n  \"cells\": [";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const SweepCellResult& cell = report.cells[i];
+    const ExperimentConfig& config = cell.config;
+    os << (i == 0 ? "\n" : ",\n") << "    {\"point\": {";
+    static const char* const kAxes[] = {
+        "scenario",   "level",      "mapper",       "dropper", "gamma",
+        "capacity",   "engagement", "conditioning", "failures"};
+    bool first = true;
+    for (const char* axis : kAxes) {
+      os << (first ? "" : ", ") << '"' << axis << "\": \""
+         << json_escape(axis_label(cell.point, axis)) << '"';
+      first = false;
+    }
+    os << "},\n     \"config\": {\"mapper\": \"" << json_escape(config.mapper)
+       << "\", \"dropper\": \"" << config.dropper.name()
+       << "\", \"tasks\": " << config.workload.n_tasks
+       << ", \"oversub\": " << config.workload.oversubscription
+       << ", \"gamma\": " << config.workload.gamma
+       << ", \"capacity\": " << config.queue_capacity
+       << ", \"trials\": " << config.trials << ", \"seed\": " << config.seed
+       << "},\n     \"metrics\": {";
+    write_summary_json(os, "robustness_pct", cell.result.robustness);
+    os << ", ";
+    write_summary_json(os, "utility_pct", cell.result.utility);
+    os << ", ";
+    write_summary_json(os, "normalized_cost", cell.result.normalized_cost);
+    os << ", ";
+    write_summary_json(os, "reactive_share_pct", cell.result.reactive_share);
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
 }
 
 }  // namespace taskdrop

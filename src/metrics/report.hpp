@@ -1,7 +1,9 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
+#include "exp/sweep.hpp"
 #include "metrics/aggregate.hpp"
 #include "util/table.hpp"
 
@@ -14,5 +16,18 @@ std::string format_summary(const Summary& summary, int precision = 2);
 /// created with matching headers.
 void add_summary_row(Table& table, const std::string& label,
                      const Summary& summary, int precision = 2);
+
+// --- Consolidated sweep output. One long-format row per cell: the active
+// axes identify it, then the standard summary metrics.
+
+/// Headers: active axes + robustness/ci95/utility/cost/reactive-share.
+Table sweep_table(const SweepReport& report);
+
+/// sweep_table in RFC-4180-ish CSV.
+void write_sweep_csv(std::ostream& os, const SweepReport& report);
+
+/// Machine-readable dump (schema "taskdrop-sweep/v1"): every cell's full
+/// axis point, the resolved config, and mean/ci95 of each summary metric.
+void write_sweep_json(std::ostream& os, const SweepReport& report);
 
 }  // namespace taskdrop

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,7 +55,23 @@ struct DropperConfig {
   static DropperConfig approximate(int eta = 2, double beta = 1.0) {
     return DropperConfig{Kind::Approx, eta, beta, 0.5, true};
   }
+
+  /// Text-driven construction: `name` is one of dropper_names() and
+  /// `params` tunes it ("eta", "beta", "threshold", "adaptive"). Parameters
+  /// that do not apply to the named kind are ignored so a sweep can hand
+  /// every dropper the same grid point; unknown parameter keys and
+  /// malformed values throw std::invalid_argument, as do unknown names
+  /// (listing the available set).
+  static DropperConfig from_spec(
+      const std::string& name,
+      const std::map<std::string, std::string>& params = {});
+
+  /// The registry name this config round-trips through ("heuristic", ...).
+  std::string name() const;
 };
+
+/// All registered dropper names, in the order the paper introduces them.
+std::vector<std::string> dropper_names();
 
 std::unique_ptr<Dropper> make_dropper(const DropperConfig& config);
 

@@ -24,6 +24,13 @@ Flags::Flags(int argc, const char* const* argv) {
 
 bool Flags::has(const std::string& key) const { return values_.count(key) != 0; }
 
+std::vector<std::string> Flags::keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
 std::string Flags::get(const std::string& key, const std::string& fallback) const {
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;

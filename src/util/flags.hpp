@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace taskdrop {
 
@@ -17,6 +18,10 @@ class Flags {
   Flags(int argc, const char* const* argv);
 
   bool has(const std::string& key) const;
+  /// All parsed --key names, sorted — lets strict consumers (the sweep
+  /// subcommand) reject typo'd flags that the lenient parser would
+  /// otherwise silently drop.
+  std::vector<std::string> keys() const;
   std::string get(const std::string& key, const std::string& fallback) const;
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;

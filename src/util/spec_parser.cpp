@@ -1,0 +1,303 @@
+#include "util/spec_parser.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace taskdrop {
+namespace {
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+// --- JSON subset: one object of scalars / flat arrays of scalars. Numbers
+// are kept as their source text so the sweep layer re-parses them with its
+// own validation, exactly as it does for key=value input.
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  SpecMap parse_object() {
+    SpecMap map;
+    expect('{');
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return map;
+    }
+    for (;;) {
+      skip_space();
+      const std::string key = parse_string();
+      expect(':');
+      auto& values = map[key];
+      skip_space();
+      if (peek() == '[') {
+        ++pos_;
+        skip_space();
+        if (peek() == ']') {
+          ++pos_;
+        } else {
+          for (;;) {
+            values.push_back(parse_scalar());
+            skip_space();
+            if (peek() == ',') {
+              ++pos_;
+              continue;
+            }
+            expect(']');
+            break;
+          }
+        }
+      } else {
+        values.push_back(parse_scalar());
+      }
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    finish();
+    return map;
+  }
+
+ private:
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void expect(char wanted) {
+    skip_space();
+    if (peek() != wanted) {
+      throw std::invalid_argument("spec JSON: expected '" +
+                                  std::string(1, wanted) + "' at offset " +
+                                  std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  void finish() {
+    skip_space();
+    if (pos_ != text_.size()) {
+      throw std::invalid_argument("spec JSON: trailing content at offset " +
+                                  std::to_string(pos_));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        c = text_[pos_++];
+        if (c == 'n') c = '\n';
+        if (c == 't') c = '\t';
+        // '"', '\\' and '/' map to themselves.
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) {
+      throw std::invalid_argument("spec JSON: unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::string parse_scalar() {
+    skip_space();
+    if (peek() == '"') return parse_string();
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ',' || c == ']' || c == '}' ||
+          std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      out += c;
+      ++pos_;
+    }
+    if (out.empty()) {
+      throw std::invalid_argument("spec JSON: expected a value at offset " +
+                                  std::to_string(pos_));
+    }
+    return out;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+SpecMap parse_key_value(const std::string& text) {
+  SpecMap map;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("spec line " + std::to_string(line_number) +
+                                  ": expected key = value, got '" + line +
+                                  "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    if (key.empty()) {
+      throw std::invalid_argument("spec line " + std::to_string(line_number) +
+                                  ": empty key");
+    }
+    const std::vector<std::string> values =
+        split_spec_list(line.substr(eq + 1));
+    if (values.empty()) {
+      throw std::invalid_argument("spec line " + std::to_string(line_number) +
+                                  ": no values for key '" + key + "'");
+    }
+    auto& slot = map[key];
+    slot.insert(slot.end(), values.begin(), values.end());
+  }
+  return map;
+}
+
+}  // namespace
+
+std::vector<std::string> split_spec_list(const std::string& text) {
+  std::string body = trim(text);
+  if (body.size() >= 2 && body.front() == '[' && body.back() == ']') {
+    body = trim(body.substr(1, body.size() - 2));
+  }
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    const auto comma = body.find(',', start);
+    const std::string item =
+        trim(comma == std::string::npos ? body.substr(start)
+                                        : body.substr(start, comma - start));
+    if (!item.empty()) items.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::string join_spec_list(const std::vector<std::string>& items) {
+  std::string joined;
+  for (const std::string& item : items) {
+    if (!joined.empty()) joined += ", ";
+    joined += item;
+  }
+  return joined;
+}
+
+SpecMap parse_spec_text(const std::string& text) {
+  const std::string body = trim(text);
+  if (!body.empty() && body.front() == '{') {
+    return JsonCursor(body).parse_object();
+  }
+  return parse_key_value(text);
+}
+
+SpecMap parse_spec_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot read sweep spec: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_spec_text(buffer.str());
+}
+
+namespace {
+
+[[noreturn]] void bad_number(const std::string& context,
+                             const std::string& value, const char* what) {
+  throw std::invalid_argument(context + ": " + what + " '" + value + "'");
+}
+
+}  // namespace
+
+int parse_spec_int(const std::string& context, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    bad_number(context, value, "malformed integer");
+  }
+  if (errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+    bad_number(context, value, "integer out of range");
+  }
+  return static_cast<int>(parsed);
+}
+
+std::uint64_t parse_spec_u64(const std::string& context,
+                             const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || value.front() == '-' ||
+      end != value.c_str() + value.size()) {
+    bad_number(context, value, "malformed unsigned integer");
+  }
+  if (errno == ERANGE) bad_number(context, value, "integer out of range");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double parse_spec_double(const std::string& context,
+                         const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size()) {
+    bad_number(context, value, "malformed number");
+  }
+  if (errno == ERANGE || !std::isfinite(parsed)) {
+    bad_number(context, value, "number out of range");
+  }
+  return parsed;
+}
+
+bool parse_spec_bool(const std::string& context, const std::string& value) {
+  if (value == "1" || value == "true") return true;
+  if (value == "0" || value == "false") return false;
+  throw std::invalid_argument(context + ": expected 0/1/true/false, got '" +
+                              value + "'");
+}
+
+std::string spec_to_text(const SpecMap& map) {
+  std::ostringstream out;
+  for (const auto& [key, values] : map) {
+    out << key << " = " << join_spec_list(values) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace taskdrop

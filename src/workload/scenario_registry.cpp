@@ -1,0 +1,37 @@
+#include "workload/scenario_registry.hpp"
+
+#include <stdexcept>
+
+#include "util/spec_parser.hpp"
+
+namespace taskdrop {
+namespace {
+
+struct ScenarioEntry {
+  const char* name;
+  ScenarioKind kind;
+};
+
+constexpr ScenarioEntry kScenarios[] = {
+    {"spec_hc", ScenarioKind::SpecHC},
+    {"video", ScenarioKind::Video},
+    {"homogeneous", ScenarioKind::Homogeneous},
+};
+
+}  // namespace
+
+ScenarioKind scenario_from_name(const std::string& name) {
+  for (const ScenarioEntry& entry : kScenarios) {
+    if (name == entry.name) return entry.kind;
+  }
+  throw std::invalid_argument("unknown scenario: " + name + " (available: " +
+                              join_spec_list(scenario_names()) + ")");
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const ScenarioEntry& entry : kScenarios) names.emplace_back(entry.name);
+  return names;
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace taskdrop {
+
+/// String-keyed construction of evaluation scenarios, mirroring the mapper
+/// and dropper registries in sched/registry.hpp. Names are the same
+/// spellings `to_string(ScenarioKind)` emits ("spec_hc", "video",
+/// "homogeneous"), so configs round-trip through text. Throws
+/// std::invalid_argument listing the available set for unknown names.
+ScenarioKind scenario_from_name(const std::string& name);
+
+/// All registered scenario names, in declaration order.
+std::vector<std::string> scenario_names();
+
+}  // namespace taskdrop

@@ -1,0 +1,101 @@
+// String-keyed registry layer: scenario names, dropper from_spec, and the
+// "unknown name lists the available set" contract the CLI relies on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/registry.hpp"
+#include "workload/scenario_registry.hpp"
+
+namespace taskdrop {
+namespace {
+
+TEST(ScenarioRegistry, RoundTripsEveryName) {
+  const auto names = scenario_names();
+  ASSERT_EQ(names.size(), 3u);
+  for (const std::string& name : names) {
+    EXPECT_EQ(to_string(scenario_from_name(name)), name);
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNameListsAvailableSet) {
+  try {
+    scenario_from_name("warehouse");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("spec_hc"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("video"), std::string::npos);
+  }
+}
+
+TEST(MapperRegistry, UnknownNameListsAvailableSet) {
+  try {
+    make_mapper("NOPE");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("PAM"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("MSD"), std::string::npos);
+  }
+}
+
+TEST(DropperRegistry, FromSpecBuildsEveryRegisteredKind) {
+  EXPECT_EQ(DropperConfig::from_spec("reactive").kind,
+            DropperConfig::Kind::ReactiveOnly);
+  EXPECT_EQ(DropperConfig::from_spec("heuristic").kind,
+            DropperConfig::Kind::Heuristic);
+  EXPECT_EQ(DropperConfig::from_spec("optimal").kind,
+            DropperConfig::Kind::Optimal);
+  EXPECT_EQ(DropperConfig::from_spec("threshold").kind,
+            DropperConfig::Kind::Threshold);
+  EXPECT_EQ(DropperConfig::from_spec("approx").kind,
+            DropperConfig::Kind::Approx);
+  for (const std::string& name : dropper_names()) {
+    EXPECT_EQ(DropperConfig::from_spec(name).name(), name);
+    EXPECT_NE(make_dropper(DropperConfig::from_spec(name)), nullptr);
+  }
+}
+
+TEST(DropperRegistry, FromSpecAppliesParameters) {
+  const DropperConfig heuristic = DropperConfig::from_spec(
+      "heuristic", {{"eta", "4"}, {"beta", "2.5"}});
+  EXPECT_EQ(heuristic.effective_depth, 4);
+  EXPECT_DOUBLE_EQ(heuristic.beta, 2.5);
+
+  const DropperConfig threshold = DropperConfig::from_spec(
+      "threshold", {{"threshold", "0.7"}, {"adaptive", "0"}});
+  EXPECT_DOUBLE_EQ(threshold.base_threshold, 0.7);
+  EXPECT_FALSE(threshold.adaptive_threshold);
+}
+
+TEST(DropperRegistry, FromSpecIgnoresParametersOfOtherKinds) {
+  // A grid can hand every dropper the same point; irrelevant knobs are
+  // dropped instead of erroring.
+  const DropperConfig optimal =
+      DropperConfig::from_spec("optimal", {{"eta", "5"}, {"threshold", "0.9"}});
+  EXPECT_EQ(optimal.kind, DropperConfig::Kind::Optimal);
+  EXPECT_EQ(optimal.effective_depth, DropperConfig::optimal().effective_depth);
+}
+
+TEST(DropperRegistry, FromSpecRejectsBadInput) {
+  try {
+    DropperConfig::from_spec("magic");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("heuristic"), std::string::npos);
+  }
+  EXPECT_THROW(DropperConfig::from_spec("heuristic", {{"eta", "2x"}}),
+               std::invalid_argument);
+  EXPECT_THROW(DropperConfig::from_spec("heuristic", {{"zeta", "2"}}),
+               std::invalid_argument);
+  EXPECT_THROW(DropperConfig::from_spec("threshold", {{"adaptive", "maybe"}}),
+               std::invalid_argument);
+  // Overflow must not silently truncate, and eta must stay a real depth.
+  EXPECT_THROW(
+      DropperConfig::from_spec("heuristic", {{"eta", "99999999999"}}),
+      std::invalid_argument);
+  EXPECT_THROW(DropperConfig::from_spec("heuristic", {{"eta", "0"}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,46 +1,230 @@
-/* taskdrop_cli — run one experiment configuration from the command line.
+/* taskdrop_cli — run one experiment configuration or a declarative sweep.
 
-     taskdrop_cli --scenario=spec_hc --mapper=PAM --dropper=heuristic \
+     taskdrop_cli [run] --scenario=spec_hc --mapper=PAM --dropper=heuristic \
                   --tasks=3000 --oversub=3.0 --trials=8 [--eta=2] [--beta=1] \
                   [--threshold=0.5] [--gamma=4] [--capacity=6] [--seed=42] \
                   [--bursty] [--failures --mtbf=60000 --mttr=3000] \
                   [--trace-out=trace.csv] [--csv]
 
-   Droppers: reactive | heuristic | optimal | threshold | approx.
-   Scenarios: spec_hc | video | homogeneous. */
+     taskdrop_cli sweep --spec=specs/fig8.sweep [--trials=2] [--csv|--json]
+     taskdrop_cli sweep --scenario=spec_hc --mapper=PAM,MM \
+                  --dropper=heuristic,reactive --tasks=2000,3000 \
+                  --oversub=2.5,3.0 --trials=8 [--out=report.csv] [--progress]
+
+     taskdrop_cli --list-scenarios --list-mappers --list-droppers
+
+   `sweep` expands the cross product of every axis (see the specs/ dir and
+   the README's sweep section); inline axis flags take comma-separated
+   lists and override same-named keys of --spec. All names resolve through
+   the registries, so unknown ones list the available set. */
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 
 #include "cost/cost_model.hpp"
 #include "exp/experiment.hpp"
+#include "exp/sweep.hpp"
 #include "metrics/report.hpp"
 #include "util/flags.hpp"
+#include "util/spec_parser.hpp"
+#include "workload/scenario_registry.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace taskdrop;
 
 namespace {
 
-ScenarioKind parse_scenario(const std::string& name) {
-  if (name == "spec_hc") return ScenarioKind::SpecHC;
-  if (name == "video") return ScenarioKind::Video;
-  if (name == "homogeneous") return ScenarioKind::Homogeneous;
-  throw std::invalid_argument("unknown scenario: " + name);
+/// Prints the registry enumerations; returns true when any was requested.
+bool handle_list_flags(const Flags& flags) {
+  bool handled = false;
+  const auto print_set = [&](const char* title,
+                             const std::vector<std::string>& names) {
+    std::cout << title << ":";
+    for (const std::string& name : names) std::cout << ' ' << name;
+    std::cout << '\n';
+    handled = true;
+  };
+  if (flags.get_bool("list-scenarios")) {
+    print_set("scenarios", scenario_names());
+  }
+  if (flags.get_bool("list-mappers")) print_set("mappers", mapper_names());
+  if (flags.get_bool("list-droppers")) print_set("droppers", dropper_names());
+  return handled;
 }
 
-DropperConfig parse_dropper(const Flags& flags) {
-  const std::string name = flags.get("dropper", "heuristic");
-  const int eta = static_cast<int>(flags.get_int("eta", 2));
-  const double beta = flags.get_double("beta", 1.0);
-  if (name == "reactive") return DropperConfig::reactive_only();
-  if (name == "heuristic") return DropperConfig::heuristic(eta, beta);
-  if (name == "optimal") return DropperConfig::optimal();
-  if (name == "threshold") {
-    return DropperConfig::threshold(flags.get_double("threshold", 0.5),
-                                    !flags.get_bool("static-threshold"));
+/// Dropper construction for `run`: only explicitly set flags become
+/// from_spec parameters, so registry defaults stay in one place.
+DropperConfig dropper_from_flags(const Flags& flags) {
+  std::map<std::string, std::string> params;
+  for (const char* key : {"eta", "beta", "threshold"}) {
+    if (flags.has(key)) params[key] = flags.get(key, "");
   }
-  if (name == "approx") return DropperConfig::approximate(eta, beta);
-  throw std::invalid_argument("unknown dropper: " + name);
+  if (flags.get_bool("static-threshold")) params["adaptive"] = "0";
+  return DropperConfig::from_spec(flags.get("dropper", "heuristic"), params);
+}
+
+int run_single(const Flags& flags) {
+  ExperimentConfig config;
+  config.scenario = scenario_from_name(flags.get("scenario", "spec_hc"));
+  config.mapper = flags.get("mapper", "PAM");
+  config.dropper = dropper_from_flags(flags);
+  config.workload.n_tasks = static_cast<int>(flags.get_int("tasks", 3000));
+  config.workload.oversubscription = flags.get_double("oversub", 3.0);
+  config.workload.gamma = flags.get_double("gamma", config.workload.gamma);
+  if (flags.get_bool("bursty")) {
+    config.workload.pattern = ArrivalPattern::Bursty;
+  }
+  config.queue_capacity = static_cast<int>(flags.get_int("capacity", 6));
+  config.trials = static_cast<int>(flags.get_int("trials", 8));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  if (flags.get_bool("failures")) {
+    config.failures.enabled = true;
+    config.failures.mean_time_between_failures =
+        flags.get_double("mtbf", 60000.0);
+    config.failures.mean_time_to_repair = flags.get_double("mttr", 3000.0);
+  }
+  if (flags.get_bool("on-deadline-miss")) {
+    config.engagement = DropperEngagement::OnDeadlineMiss;
+  }
+
+  // Optional trace round-trip: archive the first trial's trace, or run
+  // every trial on an externally supplied one.
+  const Scenario scenario = build_scenario(config);
+  if (flags.has("trace-out")) {
+    WorkloadConfig workload = config.workload;
+    workload.seed = Rng::derive(config.seed, 0)();
+    write_trace_csv_file(
+        flags.get("trace-out", ""),
+        generate_trace(scenario.pet, scenario.machine_count(), workload));
+    std::cout << "wrote trial-0 trace to " << flags.get("trace-out", "")
+              << "\n";
+  }
+
+  const ExperimentResult result = run_experiment(config, &scenario);
+
+  Table table({"metric", "mean", "ci95"});
+  add_summary_row(table, "robustness (%)", result.robustness);
+  add_summary_row(table, "utility (%)", result.utility);
+  add_summary_row(table, "cost/robustness ($)", result.normalized_cost, 4);
+  add_summary_row(table, "reactive share of queue drops (%)",
+                  result.reactive_share);
+  std::cout << "scenario=" << to_string(config.scenario)
+            << " mapper=" << config.mapper
+            << " dropper=" << config.dropper.name()
+            << " tasks=" << config.workload.n_tasks
+            << " oversub=" << config.workload.oversubscription
+            << " trials=" << config.trials << "\n\n";
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int run_sweep_command(const Flags& flags) {
+  // The Flags parser drops unrecognised tokens (so benches can share argv
+  // with google-benchmark), but for sweeps a typo'd axis flag would
+  // silently run the wrong grid — reject anything that is neither a spec
+  // key nor a sweep option. "full" can appear via the REPRO_FULL fold-in.
+  static const std::vector<std::string> kSweepOptions = {
+      "spec", "csv", "json", "out", "progress", "threads", "full"};
+  for (const std::string& key : flags.keys()) {
+    const auto& spec_keys = sweep_spec_keys();
+    const bool known =
+        std::find(spec_keys.begin(), spec_keys.end(), key) !=
+            spec_keys.end() ||
+        std::find(kSweepOptions.begin(), kSweepOptions.end(), key) !=
+            kSweepOptions.end();
+    if (!known) {
+      throw std::invalid_argument(
+          "unknown sweep flag: --" + key + " (spec keys: " +
+          join_spec_list(sweep_spec_keys()) +
+          "; options: " + join_spec_list(kSweepOptions) + ")");
+    }
+  }
+
+  SpecMap map;
+  if (flags.has("spec")) {
+    map = parse_spec_file(flags.get("spec", ""));
+  }
+  // Every spec key doubles as an inline flag overriding the same key of
+  // --spec; list-valued keys take comma syntax (--mapper=PAM,MM). The
+  // levels axis has two spellings; an inline --levels drops the file's
+  // tasks/oversub, while a partial --tasks/--oversub override decomposes a
+  // file-side `levels` into its halves first, so the half the user did not
+  // override is kept instead of silently resetting to defaults.
+  if (flags.has("levels")) {
+    map.erase("tasks");
+    map.erase("oversub");
+  } else if ((flags.has("tasks") || flags.has("oversub")) &&
+             map.count("levels") != 0) {
+    SpecMap halves;
+    for (const std::string& entry : map.at("levels")) {
+      // "label:tasks:oversub" or "tasks:oversub" — keep the last two
+      // colon-separated fields (from_map re-validates the numbers).
+      const auto last = entry.rfind(':');
+      if (last == std::string::npos) continue;
+      const auto mid = entry.rfind(':', last - 1);
+      const std::size_t tasks_begin = mid == std::string::npos ? 0 : mid + 1;
+      halves["tasks"].push_back(
+          entry.substr(tasks_begin, last - tasks_begin));
+      halves["oversub"].push_back(entry.substr(last + 1));
+    }
+    map.erase("levels");
+    map.insert(halves.begin(), halves.end());
+  }
+  for (const std::string& key : sweep_spec_keys()) {
+    if (flags.has(key)) {
+      map[key] = split_spec_list(flags.get(key, ""));
+    }
+  }
+  const SweepSpec spec = SweepSpec::from_map(map);
+
+  SweepOptions options;
+  const std::int64_t threads = flags.get_int("threads", 0);
+  if (threads < 0 || threads > 4096) {
+    throw std::invalid_argument("--threads must be in [0, 4096] (0 = "
+                                "hardware concurrency), got " +
+                                std::to_string(threads));
+  }
+  options.threads = static_cast<std::size_t>(threads);
+  if (flags.get_bool("progress")) {
+    options.on_cell = [](const SweepCellResult& cell, std::size_t done,
+                         std::size_t total) {
+      std::cerr << "[" << done << "/" << total << "] "
+                << cell.point.scenario << " " << cell.point.level << " "
+                << cell.point.mapper << " " << cell.point.dropper
+                << " robustness=" << format_fixed(
+                       cell.result.robustness.mean, 2)
+                << "\n";
+    };
+  }
+  const SweepReport report = run_sweep(spec, options);
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (flags.has("out")) {
+    file.open(flags.get("out", ""));
+    if (!file) {
+      throw std::runtime_error("cannot write " + flags.get("out", ""));
+    }
+    out = &file;
+  }
+  if (flags.get_bool("json")) {
+    write_sweep_json(*out, report);
+  } else if (flags.get_bool("csv")) {
+    write_sweep_csv(*out, report);
+  } else {
+    *out << "sweep: " << report.name << "  cells=" << report.cells.size()
+         << " trials=" << spec.trials << " seed=" << spec.seed << "\n\n";
+    sweep_table(report).print(*out);
+  }
+  if (flags.has("out")) {
+    std::cout << "wrote " << flags.get("out", "") << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -48,64 +232,15 @@ DropperConfig parse_dropper(const Flags& flags) {
 int main(int argc, char** argv) {
   try {
     const Flags flags(argc, argv);
-
-    ExperimentConfig config;
-    config.scenario = parse_scenario(flags.get("scenario", "spec_hc"));
-    config.mapper = flags.get("mapper", "PAM");
-    config.dropper = parse_dropper(flags);
-    config.workload.n_tasks = static_cast<int>(flags.get_int("tasks", 3000));
-    config.workload.oversubscription = flags.get_double("oversub", 3.0);
-    config.workload.gamma =
-        flags.get_double("gamma", config.workload.gamma);
-    if (flags.get_bool("bursty")) {
-      config.workload.pattern = ArrivalPattern::Bursty;
-    }
-    config.queue_capacity = static_cast<int>(flags.get_int("capacity", 6));
-    config.trials = static_cast<int>(flags.get_int("trials", 8));
-    config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-    if (flags.get_bool("failures")) {
-      config.failures.enabled = true;
-      config.failures.mean_time_between_failures =
-          flags.get_double("mtbf", 60000.0);
-      config.failures.mean_time_to_repair = flags.get_double("mttr", 3000.0);
-    }
-    if (flags.get_bool("on-deadline-miss")) {
-      config.engagement = DropperEngagement::OnDeadlineMiss;
-    }
-
-    // Optional trace round-trip: archive the first trial's trace, or run
-    // every trial on an externally supplied one.
-    const Scenario scenario = build_scenario(config);
-    if (flags.has("trace-out")) {
-      WorkloadConfig workload = config.workload;
-      workload.seed = Rng::derive(config.seed, 0)();
-      write_trace_csv_file(
-          flags.get("trace-out", ""),
-          generate_trace(scenario.pet, scenario.machine_count(), workload));
-      std::cout << "wrote trial-0 trace to " << flags.get("trace-out", "")
-                << "\n";
-    }
-
-    const ExperimentResult result = run_experiment(config, &scenario);
-
-    Table table({"metric", "mean", "ci95"});
-    add_summary_row(table, "robustness (%)", result.robustness);
-    add_summary_row(table, "utility (%)", result.utility);
-    add_summary_row(table, "cost/robustness ($)", result.normalized_cost, 4);
-    add_summary_row(table, "reactive share of queue drops (%)",
-                    result.reactive_share);
-    std::cout << "scenario=" << to_string(config.scenario)
-              << " mapper=" << config.mapper
-              << " dropper=" << flags.get("dropper", "heuristic")
-              << " tasks=" << config.workload.n_tasks
-              << " oversub=" << config.workload.oversubscription
-              << " trials=" << config.trials << "\n\n";
-    if (flags.get_bool("csv")) {
-      table.print_csv(std::cout);
-    } else {
-      table.print(std::cout);
-    }
-    return 0;
+    if (handle_list_flags(flags)) return 0;
+    // Subcommand word (bare, non-flag argv[1]); absent means `run` so
+    // pre-subcommand invocations keep working.
+    const std::string command =
+        (argc > 1 && argv[1][0] != '-') ? argv[1] : "run";
+    if (command == "run") return run_single(flags);
+    if (command == "sweep") return run_sweep_command(flags);
+    throw std::invalid_argument("unknown command: " + command +
+                                " (available: run, sweep)");
   } catch (const std::exception& error) {
     std::cerr << "taskdrop_cli: " << error.what() << "\n";
     return 1;
