@@ -1,0 +1,89 @@
+// Micro benchmarks for the incremental completion-chain machinery on deep
+// queues — the regime the (cell x trial) sweep grids of PR 2 multiply: one
+// mapping event probes every machine's tail (chance_if_appended), appends
+// one task (a single suffix re-convolution under dirty-index tracking), and
+// occasionally re-roots a provisional window chain (the droppers' Eqs. 4-6
+// walk, allocation-free through a PmfWorkspace).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/sandbox.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace taskdrop;
+
+const Scenario& scenario() {
+  static const Scenario s = make_scenario(ScenarioKind::SpecHC, 42);
+  return s;
+}
+
+std::unique_ptr<SystemSandbox> make_queue(int depth) {
+  const Scenario& scn = scenario();
+  auto sandbox = std::make_unique<SystemSandbox>(
+      scn.pet, std::vector<MachineTypeId>{0}, depth + 2);
+  const double mean = scn.pet.mean_overall();
+  for (int i = 0; i < depth; ++i) {
+    sandbox->enqueue(0, static_cast<TaskTypeId>(i % scn.pet.task_type_count()),
+                     static_cast<Tick>(mean * (2.0 + i)));
+  }
+  return sandbox;
+}
+
+/// PAM's phase-1 probe against an already-cached deep tail: a pure CDF dot
+/// product whose cost tracks the tail PMF's support width.
+void BM_DeepChanceIfAppended(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto sandbox = make_queue(depth);
+  const auto deadline =
+      static_cast<Tick>(scenario().pet.mean_overall() * (depth + 4.0));
+  sandbox->model(0).instantaneous_robustness();  // warm the chain cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sandbox->model(0).chance_if_appended(0, deadline));
+  }
+}
+BENCHMARK(BM_DeepChanceIfAppended)->RangeMultiplier(2)->Range(8, 64);
+
+/// The common mapping-event mutation at depth: append one task and query
+/// only the new tail. Dirty-index tracking makes this a single
+/// deadline-truncated convolution regardless of queue depth.
+void BM_DeepIncrementalAppend(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const auto deadline =
+      static_cast<Tick>(scenario().pet.mean_overall() * (depth + 4.0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sandbox = make_queue(depth);
+    sandbox->model(0).instantaneous_robustness();  // warm the chain cache
+    state.ResumeTiming();
+    sandbox->enqueue(0, 0, deadline);
+    benchmark::DoNotOptimize(
+        sandbox->model(0).chance(sandbox->machine(0).queue.size() - 1));
+  }
+}
+BENCHMARK(BM_DeepIncrementalAppend)->RangeMultiplier(2)->Range(8, 64);
+
+/// The proactive heuristic's provisional-drop window (Eqs. 4-6): re-root a
+/// chain at a mid-queue predecessor and re-convolve an eta-deep window,
+/// entirely inside a reused workspace.
+void BM_DeepWindowChance(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto sandbox = make_queue(depth);
+  CompletionModel& model = sandbox->model(0);
+  model.instantaneous_robustness();  // warm the chain cache
+  const auto pos = static_cast<std::size_t>(depth / 2);
+  PmfWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        window_chance_sum(model.predecessor(pos), sandbox->machine(0),
+                          *sandbox->view().tasks, scenario().pet, pos + 1,
+                          pos + 2, nullptr, &ws));
+  }
+}
+BENCHMARK(BM_DeepWindowChance)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

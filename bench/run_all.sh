@@ -13,7 +13,7 @@ out=${2:-BENCH_micro.json}
 tmp_dir=$(mktemp -d)
 trap 'rm -rf "$tmp_dir"' EXIT
 
-benches=(micro_completion micro_convolution micro_dropper)
+benches=(micro_chain micro_completion micro_convolution micro_dropper)
 for bench in "${benches[@]}"; do
   exe="$bin_dir/$bench"
   if [[ ! -x "$exe" ]]; then

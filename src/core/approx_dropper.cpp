@@ -22,11 +22,13 @@ double weighted_window_utility(const Pmf& pred, const Machine& machine,
                                std::size_t first, std::size_t last,
                                double approx_weight,
                                std::ptrdiff_t skipped_pos,
-                               std::ptrdiff_t downgraded_pos) {
+                               std::ptrdiff_t downgraded_pos,
+                               PmfWorkspace& ws) {
   if (machine.queue.empty() || first >= machine.queue.size()) return 0.0;
   last = std::min(last, machine.queue.size() - 1);
   double utility = 0.0;
-  Pmf chain = pred;
+  Pmf& chain = ws.chain;
+  chain = pred;
   for (std::size_t i = first; i <= last; ++i) {
     if (static_cast<std::ptrdiff_t>(i) == skipped_pos) continue;
     const Task& task = tasks[static_cast<std::size_t>(machine.queue[i])];
@@ -35,7 +37,7 @@ double weighted_window_utility(const Pmf& pred, const Machine& machine,
     const Pmf& exec = approx_mode && approx_pet != nullptr
                           ? approx_pet->pmf(task.type, machine.type)
                           : pet.pmf(task.type, machine.type);
-    chain = deadline_convolve(chain, exec, task.deadline);
+    deadline_convolve_into(chain, exec, task.deadline, ws, chain);
     utility +=
         (approx_mode ? approx_weight : 1.0) * chain.mass_before(task.deadline);
   }
@@ -64,24 +66,24 @@ void ApproxDropper::run(SystemView& view, SchedulerOps& ops) {
           std::min(pos + eta, machine.queue.size() - 1);
       const Task& task =
           (*view.tasks)[static_cast<std::size_t>(machine.queue[pos])];
-      const Pmf pred = model.predecessor(pos);
+      const Pmf& pred = model.predecessor(pos);
 
       const double keep = weighted_window_utility(
           pred, machine, *view.tasks, *view.pet, view.approx_pet, pos,
-          window_end, weight, kNone, kNone);
+          window_end, weight, kNone, kNone, ws_);
       const double drop =
           is_last ? -1.0
                   : weighted_window_utility(
                         pred, machine, *view.tasks, *view.pet, view.approx_pet,
                         pos, window_end, weight,
-                        static_cast<std::ptrdiff_t>(pos), kNone);
+                        static_cast<std::ptrdiff_t>(pos), kNone, ws_);
       const double downgrade =
           task.approximate || view.approx_pet == nullptr
               ? -1.0
               : weighted_window_utility(
                     pred, machine, *view.tasks, *view.pet, view.approx_pet,
                     pos, window_end, weight, kNone,
-                    static_cast<std::ptrdiff_t>(pos));
+                    static_cast<std::ptrdiff_t>(pos), ws_);
 
       const double best = std::max(drop, downgrade);
       if (best > params_.beta * keep) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/dropper.hpp"
+#include "prob/workspace.hpp"
 
 namespace taskdrop {
 
@@ -48,6 +49,8 @@ class ApproxDropper final : public Dropper {
  private:
   Params params_;
   std::vector<std::uint64_t> examined_versions_;
+  /// Scratch for the provisional keep/drop/downgrade chains.
+  PmfWorkspace ws_;
 };
 
 }  // namespace taskdrop

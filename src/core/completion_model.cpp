@@ -6,15 +6,29 @@
 #include "prob/convolution.hpp"
 
 namespace taskdrop {
+namespace {
+
+constexpr double kUnitMass = 1.0;
+
+/// In-place delta(t) without releasing the PMF's allocation.
+void set_delta(Pmf& pmf, Tick t) {
+  pmf.assign(t, 1, &kUnitMass, &kUnitMass + 1);
+}
+
+}  // namespace
 
 CompletionModel::CompletionModel(const PetMatrix* pet, const Machine* machine,
                                  const std::vector<Task>* tasks,
-                                 Options options)
-    : pet_(pet), machine_(machine), tasks_(tasks), options_(options) {}
+                                 Options options, PmfWorkspace* workspace)
+    : pet_(pet), machine_(machine), tasks_(tasks), options_(options),
+      shared_ws_(workspace) {
+  set_delta(base_, now_);
+}
 
 void CompletionModel::set_now(Tick now) {
   if (now == now_) return;
   now_ = now;
+  set_delta(base_, now_);
   if (options_.condition_running && machine_ != nullptr && machine_->running) {
     // The conditioned running-task PMF depends on `now`.
     invalidate_all();
@@ -25,6 +39,7 @@ void CompletionModel::set_now(Tick now) {
 
 void CompletionModel::invalidate_from(std::size_t pos) {
   valid_count_ = std::min(valid_count_, pos);
+  cdf_valid_count_ = std::min(cdf_valid_count_, pos);
   ++version_;
 }
 
@@ -41,29 +56,33 @@ const Pmf& CompletionModel::exec_pmf(std::size_t pos) const {
   return execution_pmf(task, machine_->type, *pet_, options_.approx_pet);
 }
 
-Pmf CompletionModel::running_completion() const {
+void CompletionModel::compute_running_completion(Pmf& out) {
   assert(machine_->running);
   const Task& task =
       (*tasks_)[static_cast<std::size_t>(machine_->queue.front())];
   const Pmf& exec =
       execution_pmf(task, machine_->type, *pet_, options_.approx_pet);
-  Pmf completion = convolve(Pmf::delta(machine_->run_start), exec);
+  set_delta(start_, machine_->run_start);
+  convolve_into(start_, exec, workspace(), out);
   if (options_.condition_running) {
     // Condition on "not finished yet": strip mass at or before now_ and
     // renormalise. If every bin is at or before now_ the task is about to
-    // complete; keep the last bin as a degenerate point mass.
+    // complete; keep the last bin as a degenerate point mass. (Ablation
+    // path — not allocation-free, and it does not need to be.)
     std::vector<std::pair<Tick, double>> kept;
-    for (std::size_t i = 0; i < completion.size(); ++i) {
-      if (completion.time_at(i) > now_ && completion.prob_at_index(i) > 0.0) {
-        kept.emplace_back(completion.time_at(i), completion.prob_at_index(i));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out.time_at(i) > now_ && out.prob_at_index(i) > 0.0) {
+        kept.emplace_back(out.time_at(i), out.prob_at_index(i));
       }
     }
-    if (kept.empty()) return Pmf::delta(completion.max_time());
-    Pmf conditioned = Pmf::from_impulses(std::move(kept), completion.stride());
+    if (kept.empty()) {
+      set_delta(out, out.max_time());
+      return;
+    }
+    Pmf conditioned = Pmf::from_impulses(std::move(kept), out.stride());
     conditioned.normalize();
-    return conditioned;
+    out = conditioned;
   }
-  return completion;
 }
 
 void CompletionModel::ensure(std::size_t pos) {
@@ -72,6 +91,7 @@ void CompletionModel::ensure(std::size_t pos) {
   assert(pos < q);
   if (completions_.size() < q) {
     completions_.resize(q);
+    cdfs_.resize(q);
     chances_.resize(q);
   }
   for (std::size_t i = valid_count_; i <= pos; ++i) {
@@ -79,14 +99,14 @@ void CompletionModel::ensure(std::size_t pos) {
         (*tasks_)[static_cast<std::size_t>(machine_->queue[i])];
     if (i == 0) {
       if (machine_->running) {
-        completions_[0] = running_completion();
+        compute_running_completion(completions_[0]);
       } else {
-        completions_[0] = deadline_convolve(Pmf::delta(now_), exec_pmf(0),
-                                            task.deadline);
+        deadline_convolve_into(base_, exec_pmf(0), task.deadline, workspace(),
+                               completions_[0]);
       }
     } else {
-      completions_[i] =
-          deadline_convolve(completions_[i - 1], exec_pmf(i), task.deadline);
+      deadline_convolve_into(completions_[i - 1], exec_pmf(i), task.deadline,
+                             workspace(), completions_[i]);
     }
     chances_[i] = completions_[i].mass_before(task.deadline);
   }
@@ -98,22 +118,35 @@ const Pmf& CompletionModel::completion(std::size_t pos) {
   return completions_[pos];
 }
 
+const PmfCdf& CompletionModel::completion_cdf(std::size_t pos) {
+  ensure(pos);
+  // Prefix sums are rebuilt lazily: chain maintenance itself never pays
+  // for them (the one chance query per slot reads the PMF directly), so
+  // the views only cost when a caller actually wants repeated O(1)
+  // cumulative-mass queries.
+  for (std::size_t i = cdf_valid_count_; i <= pos; ++i) {
+    cdfs_[i].rebuild(completions_[i]);
+  }
+  cdf_valid_count_ = std::max(cdf_valid_count_, pos + 1);
+  return cdfs_[pos];
+}
+
 double CompletionModel::chance(std::size_t pos) {
   ensure(pos);
   return chances_[pos];
 }
 
-Pmf CompletionModel::predecessor(std::size_t pos) {
+const Pmf& CompletionModel::predecessor(std::size_t pos) {
   if (pos == 0) {
     assert(!machine_->running &&
            "the running task has no droppable predecessor slot");
-    return Pmf::delta(now_);
+    return base_;
   }
   return completion(pos - 1);
 }
 
-Pmf CompletionModel::tail() {
-  if (machine_->queue.empty()) return Pmf::delta(now_);
+const Pmf& CompletionModel::tail() {
+  if (machine_->queue.empty()) return base_;
   return completion(machine_->queue.size() - 1);
 }
 
@@ -135,14 +168,18 @@ double CompletionModel::chance_if_appended(TaskTypeId type, Tick deadline) {
     // The task would start immediately at now_.
     return now_ < deadline ? exec_cdf.mass_before(deadline - now_) : 0.0;
   }
+  // Dot product of the cached tail PMF against the execution CDF. The
+  // summation deliberately runs over tail bins in ascending time order —
+  // the same order as materialising Eq. 1 and summing Eq. 2 — so the probe
+  // stays bit-compatible with the decisions the chains themselves produce.
   const Pmf& pred = completion(machine_->queue.size() - 1);
   double sum = 0.0;
+  const double* p = pred.data();
   for (std::size_t i = 0; i < pred.size(); ++i) {
     const Tick k = pred.time_at(i);
     if (k >= deadline) break;
-    const double p = pred.prob_at_index(i);
-    if (p == 0.0) continue;
-    sum += p * exec_cdf.mass_before(deadline - k);
+    if (p[i] == 0.0) continue;
+    sum += p[i] * exec_cdf.mass_before(deadline - k);
   }
   return sum;
 }
@@ -150,15 +187,19 @@ double CompletionModel::chance_if_appended(TaskTypeId type, Tick deadline) {
 double window_chance_sum(const Pmf& pred, const Machine& machine,
                          const std::vector<Task>& tasks, const PetMatrix& pet,
                          std::size_t first, std::size_t last,
-                         const PetMatrix* approx_pet) {
+                         const PetMatrix* approx_pet, PmfWorkspace* ws) {
   if (machine.queue.empty() || first >= machine.queue.size()) return 0.0;
   last = std::min(last, machine.queue.size() - 1);
+  PmfWorkspace local;
+  PmfWorkspace& w = ws != nullptr ? *ws : local;
+  assert(&pred != &w.chain && "pred must not alias the workspace chain");
+  Pmf& chain = w.chain;
+  chain = pred;
   double sum = 0.0;
-  Pmf chain = pred;
   for (std::size_t i = first; i <= last; ++i) {
     const Task& task = tasks[static_cast<std::size_t>(machine.queue[i])];
     const Pmf& exec = execution_pmf(task, machine.type, pet, approx_pet);
-    chain = deadline_convolve(chain, exec, task.deadline);
+    deadline_convolve_into(chain, exec, task.deadline, w, chain);
     sum += chain.mass_before(task.deadline);
   }
   return sum;

@@ -5,6 +5,8 @@
 
 #include "pet/pet_matrix.hpp"
 #include "prob/pmf.hpp"
+#include "prob/sampler.hpp"
+#include "prob/workspace.hpp"
 #include "sim/machine.hpp"
 #include "sim/task.hpp"
 #include "util/time_types.hpp"
@@ -21,9 +23,16 @@ namespace taskdrop {
 ///   c_i = deadline_convolve(c_{i-1}, E_i, delta_i) (Eq. 1)
 ///
 /// and the chance of success of position i is c_i's mass before delta_i
-/// (Eq. 2). PMFs are cached per position and recomputed lazily from the
-/// first position whose predecessor chain changed, which makes the common
-/// mapping-event mutation (append one task) a single convolution.
+/// (Eq. 2).
+///
+/// The chain is maintained incrementally with dirty-index tracking: PMFs
+/// are cached per position together with a per-slot cumulative-mass view
+/// (PmfCdf), and recomputed lazily from the first position whose
+/// predecessor chain changed. Appending one task (the common mapping-event
+/// mutation) re-convolves only the new tail slot; dropping a mid-queue task
+/// re-convolves only the suffix from its position. Rebuilds run through a
+/// shared PmfWorkspace, so steady-state chain maintenance performs no
+/// allocation.
 ///
 /// The model reads the machine's queue and the global task table at query
 /// time; the engine owns both and calls invalidate_* on every structural
@@ -43,8 +52,12 @@ class CompletionModel {
   };
 
   CompletionModel() = default;
+  /// `workspace` is optional shared convolution scratch (the engine passes
+  /// one workspace to all its per-machine models); the model owns a private
+  /// workspace when none is given.
   CompletionModel(const PetMatrix* pet, const Machine* machine,
-                  const std::vector<Task>* tasks, Options options);
+                  const std::vector<Task>* tasks, Options options,
+                  PmfWorkspace* workspace = nullptr);
 
   /// Must be called whenever simulated time advances (the idle-machine base
   /// PMF and the conditioned running PMF depend on `now`).
@@ -63,16 +76,23 @@ class CompletionModel {
   /// Completion-time PMF of queue position `pos` (Eq. 1).
   const Pmf& completion(std::size_t pos);
 
+  /// Cached cumulative-mass view of completion(pos): P(X < t) in O(1),
+  /// bit-identical to completion(pos).mass_before(t). Views are rebuilt
+  /// lazily on first access after an invalidation, so chain maintenance
+  /// never pays for them.
+  const PmfCdf& completion_cdf(std::size_t pos);
+
   /// Chance of success of queue position `pos` (Eq. 2).
   double chance(std::size_t pos);
 
   /// Completion PMF of the predecessor of `pos`: c_{pos-1}, or the machine
-  /// base distribution (start-availability) for pos == 0.
-  Pmf predecessor(std::size_t pos);
+  /// base distribution (start-availability) for pos == 0. The reference is
+  /// valid until the next mutation or set_now call.
+  const Pmf& predecessor(std::size_t pos);
 
   /// Completion PMF of the last queued task — the distribution of when the
   /// machine would start a newly appended task. delta(now) when idle-empty.
-  Pmf tail();
+  const Pmf& tail();
 
   /// Mean of tail(), cached (hot in the mapping heuristics' phase 1).
   double tail_mean();
@@ -85,13 +105,18 @@ class CompletionModel {
   /// would have if appended to the current queue tail (used by PAM's
   /// phase 1 and by the threshold dropper's deferral logic). Computed as
   ///   sum_k tail(k) * P(E < deadline - k)   over k < deadline,
-  /// i.e. Eq. 2 applied to Eq. 1 without materialising the convolution.
+  /// i.e. a dot product of the cached tail PMF against the execution CDF —
+  /// Eq. 2 applied to Eq. 1 without materialising the convolution, in the
+  /// same summation order so probe and chain decisions stay bit-compatible.
   double chance_if_appended(TaskTypeId type, Tick deadline);
 
  private:
   const Pmf& exec_pmf(std::size_t pos) const;
   void ensure(std::size_t pos);
-  Pmf running_completion() const;
+  void compute_running_completion(Pmf& out);
+  PmfWorkspace& workspace() {
+    return shared_ws_ != nullptr ? *shared_ws_ : owned_ws_;
+  }
 
   const PetMatrix* pet_ = nullptr;
   const Machine* machine_ = nullptr;
@@ -99,10 +124,23 @@ class CompletionModel {
   Options options_;
   Tick now_ = 0;
 
+  /// delta(now_): the idle machine's start-availability distribution. Kept
+  /// materialised so predecessor()/ensure() never build temporaries.
+  Pmf base_;
+  /// Scratch delta for the running task's start time.
+  Pmf start_;
+
   std::vector<Pmf> completions_;
+  /// Lazily-rebuilt cumulative views over completions_; valid for slots
+  /// below cdf_valid_count_ (always <= valid_count_).
+  std::vector<PmfCdf> cdfs_;
   std::vector<double> chances_;
   std::size_t valid_count_ = 0;
+  std::size_t cdf_valid_count_ = 0;
   std::uint64_t version_ = 0;
+
+  PmfWorkspace* shared_ws_ = nullptr;
+  PmfWorkspace owned_ws_;
 };
 
 /// Execution PMF of `task` on machine type `machine_type`, honouring the
@@ -115,9 +153,12 @@ const Pmf& execution_pmf(const Task& task, MachineTypeId machine_type,
 /// Positions index `machine.queue`; `last` is clamped to the queue tail.
 /// This is the "what-if" primitive shared by the proactive heuristic
 /// (provisional drop of one task, Eq. 8) and the optimal subset search.
+/// When `ws` is given the provisional chain lives in ws->chain and the walk
+/// allocates nothing in steady state; `pred` must not alias ws->chain.
 double window_chance_sum(const Pmf& pred, const Machine& machine,
                          const std::vector<Task>& tasks, const PetMatrix& pet,
                          std::size_t first, std::size_t last,
-                         const PetMatrix* approx_pet = nullptr);
+                         const PetMatrix* approx_pet = nullptr,
+                         PmfWorkspace* ws = nullptr);
 
 }  // namespace taskdrop

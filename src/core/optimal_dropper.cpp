@@ -15,12 +15,13 @@ double robustness_without(const Machine& machine, const std::vector<Task>& tasks
                           const PetMatrix& pet, const PetMatrix* approx_pet,
                           CompletionModel& model,
                           const std::vector<std::size_t>& droppable,
-                          unsigned mask) {
+                          unsigned mask, PmfWorkspace& ws) {
   // Chain over the surviving queue, starting from the running task's
   // completion (whose chance is unaffected by pending drops) or from the
-  // idle-machine base.
+  // idle-machine base. The candidate chain lives in the dropper's
+  // workspace, so evaluating all 2^(q-1) subsets allocates nothing.
   double sum = 0.0;
-  Pmf chain;
+  Pmf& chain = ws.chain;
   std::size_t start = machine.first_pending_pos();
   if (machine.running) {
     sum += model.chance(0);
@@ -35,9 +36,9 @@ double robustness_without(const Machine& machine, const std::vector<Task>& tasks
     if (bit < droppable.size() && droppable[bit] == pos) ++bit;
     if (dropped) continue;
     const Task& task = tasks[static_cast<std::size_t>(machine.queue[pos])];
-    chain = deadline_convolve(
-        chain, execution_pmf(task, machine.type, pet, approx_pet),
-        task.deadline);
+    deadline_convolve_into(chain,
+                           execution_pmf(task, machine.type, pet, approx_pet),
+                           task.deadline, ws, chain);
     sum += chain.mass_before(task.deadline);
   }
   return sum;
@@ -65,12 +66,12 @@ void OptimalDropper::run(SystemView& view, SchedulerOps& ops) {
     int best_popcount = 0;
     double best_robustness =
         robustness_without(machine, *view.tasks, *view.pet, view.approx_pet,
-                           model, droppable, 0u);
+                           model, droppable, 0u, ws_);
     const unsigned subsets = 1u << droppable.size();
     for (unsigned mask = 1; mask < subsets; ++mask) {
       const double r =
           robustness_without(machine, *view.tasks, *view.pet, view.approx_pet,
-                             model, droppable, mask);
+                             model, droppable, mask, ws_);
       const int popcount = __builtin_popcount(mask);
       // Strictly better, or equal with fewer drops. A small epsilon keeps
       // floating-point ties from flapping toward needless drops.

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/dropper.hpp"
+#include "prob/workspace.hpp"
 
 namespace taskdrop {
 
@@ -27,6 +28,8 @@ class OptimalDropper final : public Dropper {
   /// Same skip-if-unchanged memoisation as the heuristic dropper: a queue
   /// whose structure is unchanged would re-derive the identical subset.
   std::vector<std::uint64_t> examined_versions_;
+  /// Scratch for the 2^(q-1) candidate chains.
+  PmfWorkspace ws_;
 };
 
 }  // namespace taskdrop

@@ -33,7 +33,8 @@ void ProactiveHeuristicDropper::run(SystemView& view, SchedulerOps& ops) {
       // (Eqs. 4–6).
       const double drop_sum =
           window_chance_sum(model.predecessor(pos), machine, *view.tasks,
-                            *view.pet, pos + 1, window_end, view.approx_pet);
+                            *view.pet, pos + 1, window_end, view.approx_pet,
+                            &ws_);
 
       if (drop_sum > params_.beta * keep_sum) {
         ops.drop_queued_task(machine.id, pos);

@@ -24,7 +24,7 @@ SystemSandbox::SystemSandbox(const PetMatrix& pet,
                            queue_capacity);
   }
   for (std::size_t m = 0; m < machines_.size(); ++m) {
-    models_.emplace_back(&pet_, &machines_[m], &tasks_, model_options_);
+    models_.emplace_back(&pet_, &machines_[m], &tasks_, model_options_, &ws_);
     models_[m].set_now(now_);
   }
   view_ = SystemView{now_,

@@ -60,6 +60,8 @@ class SystemSandbox final : public SchedulerOps {
 
  private:
   const PetMatrix& pet_;
+  /// Shared convolution scratch for the models (mirrors the engine).
+  PmfWorkspace ws_;
   Tick now_ = 0;
   std::vector<Task> tasks_;
   std::vector<Machine> machines_;

@@ -1,68 +1,133 @@
 #include "prob/convolution.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace taskdrop {
 namespace {
 
+/// Matches Pmf::trim's epsilon: bins at or below this are support noise.
+constexpr double kEps = 1e-12;
+
 /// Stride of the lattice produced by combining `a` and `b`. Single-impulse
 /// PMFs are stride-agnostic shifts; two multi-bin PMFs must share a stride
-/// (all PMFs of one scenario are built with one histogram bin width).
+/// (all PMFs of one scenario are built with one histogram bin width). A
+/// mismatch is a real error path — an assert here would let Release builds
+/// silently index a garbage lattice.
 Tick combined_stride(const Pmf& a, const Pmf& b) {
   if (a.size() <= 1) return b.size() <= 1 ? Tick{1} : b.stride();
   if (b.size() <= 1) return a.stride();
-  assert(a.stride() == b.stride() &&
-         "convolving PMFs with different bin widths is not supported");
+  if (a.stride() != b.stride()) {
+    throw std::invalid_argument(
+        "convolve: PMF bin widths differ (" + std::to_string(a.stride()) +
+        " vs " + std::to_string(b.stride()) +
+        "); all PMFs of one scenario must share one histogram bin width");
+  }
   return a.stride();
+}
+
+/// Publishes the accumulation buffer as a trimmed PMF. Leading bins at or
+/// below epsilon are dropped exactly as Pmf::trim would. The trailing
+/// sub-epsilon tail is truncated early via lumping: the longest suffix
+/// whose *cumulative* mass is at or below epsilon is folded into the last
+/// surviving bin. This bounds support growth along deep completion chains
+/// (bin products shrink geometrically with queue depth) while conserving
+/// total mass; every published bin differs from the untrimmed sum by at
+/// most epsilon.
+void publish(std::vector<double>& acc, Tick lo, Tick stride, Pmf& out) {
+  const std::size_t n = acc.size();
+  std::size_t first = 0;
+  while (first < n && acc[first] <= kEps) ++first;
+  if (first == n) {
+    out.assign(0, 1, nullptr, nullptr);
+    return;
+  }
+  std::size_t last = n - 1;
+  double tail = 0.0;
+  while (last > first && tail + acc[last] <= kEps) tail += acc[last--];
+  acc[last] += tail;
+  out.assign(lo + static_cast<Tick>(first) * stride, stride,
+             acc.data() + first, acc.data() + last + 1);
 }
 
 }  // namespace
 
-Pmf convolve(const Pmf& a, const Pmf& b) {
-  if (a.empty() || b.empty()) return Pmf();
+void convolve_into(const Pmf& a, const Pmf& b, PmfWorkspace& ws, Pmf& out) {
+  if (a.empty() || b.empty()) {
+    out.assign(0, 1, nullptr, nullptr);
+    return;
+  }
   const Tick stride = combined_stride(a, b);
   const Tick lo = a.min_time() + b.min_time();
   const Tick hi = a.max_time() + b.max_time();
-  std::vector<double> out(static_cast<std::size_t>((hi - lo) / stride) + 1,
-                          0.0);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double pa = a.prob_at_index(i);
-    if (pa == 0.0) continue;
-    const Tick ta = a.time_at(i);
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      const double pb = b.prob_at_index(j);
-      if (pb == 0.0) continue;
-      out[static_cast<std::size_t>((ta + b.time_at(j) - lo) / stride)] +=
-          pa * pb;
+  auto& acc = ws.zeroed(static_cast<std::size_t>((hi - lo) / stride) + 1);
+  if (a.size() == 1 || b.size() == 1) {
+    // Single-impulse fast path: a pure shift of the wider PMF, scaled by
+    // the impulse mass (1.0 for a proper delta, leaving the bins
+    // bit-identical).
+    const Pmf& wide = a.size() == 1 ? b : a;
+    const double scale = (a.size() == 1 ? a : b).prob_at_index(0);
+    const double* p = wide.data();
+    for (std::size_t j = 0; j < wide.size(); ++j) acc[j] = scale * p[j];
+  } else {
+    // Both inputs share the stride, so bin i of `a` against bin j of `b`
+    // lands exactly on bin i + j: the inner loop is a contiguous
+    // multiply-accumulate with no per-element lattice arithmetic.
+    const double* pb = b.data();
+    const std::size_t nb = b.size();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double pa = a.prob_at_index(i);
+      if (pa == 0.0) continue;
+      double* o = acc.data() + i;
+      for (std::size_t j = 0; j < nb; ++j) o[j] += pa * pb[j];
     }
   }
-  Pmf result(lo, stride, std::move(out));
-  result.trim();
-  return result;
+  publish(acc, lo, stride, out);
 }
 
-Pmf deadline_convolve(const Pmf& pred, const Pmf& exec, Tick deadline) {
-  if (pred.empty()) return Pmf();
-  assert(!exec.empty() && "execution PMF must be non-empty");
+Pmf convolve(const Pmf& a, const Pmf& b) {
+  PmfWorkspace ws;
+  Pmf out;
+  convolve_into(a, b, ws, out);
+  return out;
+}
+
+void deadline_convolve_into(const Pmf& pred, const Pmf& exec, Tick deadline,
+                            PmfWorkspace& ws, Pmf& out) {
+  if (pred.empty()) {
+    out.assign(0, 1, nullptr, nullptr);
+    return;
+  }
+  if (exec.empty()) {
+    throw std::invalid_argument(
+        "deadline_convolve: execution PMF must be non-empty");
+  }
 
   const bool has_conv = pred.min_time() < deadline;
   const bool has_pass = pred.max_time() >= deadline;
   if (!has_conv) {
     // The task can never start before its deadline: it is dropped with
     // certainty and the slot completes exactly when the predecessor does.
-    return pred;
+    if (&out != &pred) out = pred;
+    return;
   }
 
   const Tick stride = combined_stride(pred, exec);
-  if (has_pass && pred.size() > 1 && exec.size() > 1) {
+  if (has_pass && exec.min_time() % stride != 0) {
     // Pass-through bins live on the predecessor's lattice while convolved
     // bins live on (pred + exec); they only coincide when the execution
     // PMF's offset is itself a lattice multiple, which the histogram
-    // builder guarantees for PET-matrix PMFs.
-    assert(exec.min_time() % stride == 0 &&
-           "execution PMF must sit on the global lattice");
+    // builder guarantees for PET-matrix PMFs. This holds for *any*
+    // execution PMF, single-impulse shifts included: a mixed result is not
+    // representable on one lattice. (Reaching here implies has_conv, so a
+    // multi-bin predecessor; pred.size() == 1 cannot have both regimes.)
+    throw std::invalid_argument(
+        "deadline_convolve: execution PMF offset " +
+        std::to_string(exec.min_time()) + " is off the stride-" +
+        std::to_string(stride) +
+        " lattice; convolved and pass-through bins cannot share a lattice");
   }
 
   // Support bounds. The convolved part only uses start times strictly
@@ -78,30 +143,44 @@ Pmf deadline_convolve(const Pmf& pred, const Pmf& exec, Tick deadline) {
   if (has_pass) {
     // First predecessor lattice point at or above the deadline.
     const Tick over = deadline - pred.min_time();
-    const Tick pass_lo = pred.min_time() + ((over + stride - 1) / stride) * stride;
+    const Tick pass_lo =
+        pred.min_time() + ((over + stride - 1) / stride) * stride;
     lo = std::min(lo, pass_lo);
     hi = std::max(hi, pred.max_time());
   }
-  std::vector<double> out(static_cast<std::size_t>((hi - lo) / stride) + 1,
-                          0.0);
-  for (std::size_t i = 0; i < pred.size(); ++i) {
+  auto& acc = ws.zeroed(static_cast<std::size_t>((hi - lo) / stride) + 1);
+
+  // Predecessor bins split into a convolved prefix (start < deadline) and a
+  // pass-through suffix, so both loops run branch-free with all lattice
+  // divisions hoisted out.
+  const std::size_t split =
+      has_pass ? static_cast<std::size_t>(
+                     (deadline - pred.min_time() + stride - 1) / stride)
+               : pred.size();
+  const double* pe = exec.data();
+  const std::size_t ne = exec.size();
+  const auto conv_base =
+      static_cast<std::size_t>((pred.min_time() + exec.min_time() - lo) /
+                               stride);
+  for (std::size_t i = 0; i < split; ++i) {
     const double pk = pred.prob_at_index(i);
     if (pk == 0.0) continue;
-    const Tick k = pred.time_at(i);
-    if (k < deadline) {
-      for (std::size_t j = 0; j < exec.size(); ++j) {
-        const double pe = exec.prob_at_index(j);
-        if (pe == 0.0) continue;
-        out[static_cast<std::size_t>((k + exec.time_at(j) - lo) / stride)] +=
-            pk * pe;
-      }
-    } else {
-      out[static_cast<std::size_t>((k - lo) / stride)] += pk;
-    }
+    double* o = acc.data() + conv_base + i;
+    for (std::size_t j = 0; j < ne; ++j) o[j] += pk * pe[j];
   }
-  Pmf result(lo, stride, std::move(out));
-  result.trim();
-  return result;
+  const auto pass_base =
+      static_cast<std::size_t>((pred.min_time() - lo) / stride);
+  for (std::size_t i = split; i < pred.size(); ++i) {
+    acc[pass_base + i] += pred.prob_at_index(i);
+  }
+  publish(acc, lo, stride, out);
+}
+
+Pmf deadline_convolve(const Pmf& pred, const Pmf& exec, Tick deadline) {
+  PmfWorkspace ws;
+  Pmf out;
+  deadline_convolve_into(pred, exec, deadline, ws, out);
+  return out;
 }
 
 double chance_of_success(const Pmf& completion, Tick deadline) {

@@ -1,14 +1,22 @@
 #pragma once
 
 #include "prob/pmf.hpp"
+#include "prob/workspace.hpp"
 #include "util/time_types.hpp"
 
 namespace taskdrop {
 
 /// Plain convolution: distribution of X + Y for independent X ~ a, Y ~ b.
 /// Either PMF may be a single impulse (pure shift); otherwise the strides
-/// must match. Returns an empty PMF when either input is empty.
+/// must match (throws std::invalid_argument — all PMFs of one scenario are
+/// built with one histogram bin width). Returns an empty PMF when either
+/// input is empty.
 Pmf convolve(const Pmf& a, const Pmf& b);
+
+/// Allocation-free variant: accumulates into `ws` scratch and publishes the
+/// result into `out`, reusing out's storage. `out` may alias `a` or `b`
+/// (the kernels read the inputs fully before `out` is written).
+void convolve_into(const Pmf& a, const Pmf& b, PmfWorkspace& ws, Pmf& out);
 
 /// Deadline-truncated convolution — Eq. 1 (and Eqs. 4, 5) of the paper.
 ///
@@ -24,7 +32,17 @@ Pmf convolve(const Pmf& a, const Pmf& b);
 ///     predecessor's).
 ///
 /// The result is a proper PMF whenever `pred` and `exec` are proper.
+/// Throws std::invalid_argument when the lattices are incompatible (stride
+/// mismatch, or an execution PMF offset off the global lattice while
+/// pass-through bins exist) or when `exec` is empty.
 Pmf deadline_convolve(const Pmf& pred, const Pmf& exec, Tick deadline);
+
+/// Allocation-free variant of deadline_convolve. `out` may alias `pred` or
+/// `exec`, which is what lets chain walks ping-pong one workspace PMF:
+///
+///   deadline_convolve_into(ws.chain, exec, d, ws, ws.chain);
+void deadline_convolve_into(const Pmf& pred, const Pmf& exec, Tick deadline,
+                            PmfWorkspace& ws, Pmf& out);
 
 /// Chance of success — Eq. 2: the completion-time mass strictly before the
 /// deadline.

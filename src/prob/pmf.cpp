@@ -32,6 +32,20 @@ Pmf::Pmf(Tick offset, Tick stride, std::vector<double> probs)
   assert(stride_ >= 1);
 }
 
+void Pmf::assign(Tick offset, Tick stride, const double* first,
+                 const double* last) {
+  assert(stride >= 1);
+  assert(first <= last);
+  probs_.assign(first, last);
+  if (probs_.empty()) {
+    offset_ = 0;
+    stride_ = 1;
+  } else {
+    offset_ = offset;
+    stride_ = stride;
+  }
+}
+
 double Pmf::prob_at(Tick t) const {
   if (empty() || t < offset_ || (t - offset_) % stride_ != 0) return 0.0;
   const auto i = static_cast<std::size_t>((t - offset_) / stride_);

@@ -47,6 +47,14 @@ class Pmf {
   /// Direct constructor from a dense probability vector.
   Pmf(Tick offset, Tick stride, std::vector<double> probs);
 
+  /// Replaces the contents with the dense bin range [first, last) starting
+  /// at `offset`, reusing the existing allocation when its capacity
+  /// suffices (the convolution workspace path relies on this staying
+  /// allocation-free in steady state). An empty range resets to the empty
+  /// PMF (offset 0, stride 1), matching what trim() leaves behind.
+  void assign(Tick offset, Tick stride, const double* first,
+              const double* last);
+
   bool empty() const { return probs_.empty(); }
   std::size_t size() const { return probs_.size(); }
   Tick stride() const { return stride_; }
@@ -57,6 +65,9 @@ class Pmf {
     return offset_ + static_cast<Tick>(i) * stride_;
   }
   double prob_at_index(std::size_t i) const { return probs_[i]; }
+
+  /// Dense probability array (size() entries); for kernel inner loops.
+  const double* data() const { return probs_.data(); }
 
   /// Probability at an exact time; 0 when t is off-lattice or out of range.
   double prob_at(Tick t) const;

@@ -18,8 +18,9 @@ CdfSampler::CdfSampler(const Pmf& pmf) {
   }
 }
 
-PmfCdf::PmfCdf(const Pmf& pmf)
-    : offset_(pmf.offset()), stride_(pmf.stride()) {
+void PmfCdf::rebuild(const Pmf& pmf) {
+  offset_ = pmf.offset();
+  stride_ = pmf.stride();
   prefix_.resize(pmf.size() + 1);
   prefix_[0] = 0.0;
   for (std::size_t i = 0; i < pmf.size(); ++i) {

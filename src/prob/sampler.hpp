@@ -40,7 +40,14 @@ class CdfSampler {
 class PmfCdf {
  public:
   PmfCdf() = default;
-  explicit PmfCdf(const Pmf& pmf);
+  explicit PmfCdf(const Pmf& pmf) { rebuild(pmf); }
+
+  /// Recomputes the prefix sums for `pmf`, reusing the existing allocation
+  /// (the completion model rebuilds one PmfCdf per queue slot on every
+  /// chain update; steady-state rebuilds are allocation-free). Summation
+  /// runs in ascending bin order, so mass_before returns bit-identical
+  /// values to Pmf::mass_before on the source PMF.
+  void rebuild(const Pmf& pmf);
 
   bool valid() const { return !prefix_.empty(); }
 

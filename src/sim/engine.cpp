@@ -81,7 +81,7 @@ void Engine::reset(const Trace& trace) {
   options.condition_running = config_.condition_running;
   options.approx_pet = approx_pet_ ? &*approx_pet_ : nullptr;
   for (std::size_t m = 0; m < machines_.size(); ++m) {
-    models_.emplace_back(&pet_, &machines_[m], &tasks_, options);
+    models_.emplace_back(&pet_, &machines_[m], &tasks_, options, &model_ws_);
   }
 
   view_ = SystemView{0,
@@ -134,8 +134,24 @@ SimResult Engine::run(const Trace& trace) {
       case EventKind::MachineRecovery:
         handle_recovery(static_cast<MachineId>(event.payload));
         break;
+      case EventKind::MappingWakeup:
+        break;  // the mapping event below is the entire point
     }
     mapping_event();
+    if (events_.empty() && !batch_.empty()) {
+      // A deferring mapper (e.g. PAMD) left unmapped tasks behind and no
+      // future event would ever reconsider or expire them. Wake up at the
+      // earliest remaining deadline: reactive dropping then retires at
+      // least that task, so the simulation always drains. (Batch tasks
+      // with passed deadlines were already dropped by this mapping event,
+      // so the wakeup time is strictly in the future.)
+      Tick earliest = kNeverTick;
+      for (const TaskId id : batch_) {
+        earliest =
+            std::min(earliest, tasks_[static_cast<std::size_t>(id)].deadline);
+      }
+      events_.push(earliest, EventKind::MappingWakeup, -1);
+    }
   }
 
   SimResult result;

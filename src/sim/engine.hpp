@@ -7,6 +7,7 @@
 #include "core/context.hpp"
 #include "core/dropper.hpp"
 #include "pet/pet_matrix.hpp"
+#include "prob/workspace.hpp"
 #include "sched/mapper.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/sim_result.hpp"
@@ -110,6 +111,10 @@ class Engine final : private SchedulerOps {
   Tick now_ = 0;
   std::vector<Task> tasks_;
   std::vector<Machine> machines_;
+  /// Convolution scratch shared by every per-machine completion model (the
+  /// engine is single-threaded, and one buffer keeps the hot chain-rebuild
+  /// loop in cache across machines).
+  PmfWorkspace model_ws_;
   std::vector<CompletionModel> models_;
   std::vector<TaskId> batch_;
   EventQueue events_;

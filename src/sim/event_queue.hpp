@@ -16,6 +16,12 @@ enum class EventKind : std::uint8_t {
   /// Failure-injection extension: a machine goes down / comes back.
   MachineFailure,
   MachineRecovery,
+  /// Drain-time safety net: a payload-less mapping event the engine
+  /// schedules when the queue would otherwise go empty while unmapped
+  /// tasks still sit in the batch queue (a deferring mapper can strand
+  /// them). Fires at the earliest such deadline, so every task reaches a
+  /// terminal state even if it is only by reactive expiry.
+  MappingWakeup,
 };
 
 struct Event {
@@ -23,6 +29,7 @@ struct Event {
   EventKind kind = EventKind::TaskArrival;
   /// TaskArrival: the arriving task id. TaskCompletion: machine id plus the
   /// run token (see Engine). MachineFailure/Recovery: the machine id.
+  /// MappingWakeup: unused (-1).
   std::int64_t payload = -1;
   /// Monotonic sequence number breaking time ties deterministically
   /// (FIFO among same-tick events).

@@ -1,0 +1,221 @@
+// Property suite locking down the incremental completion-chain maintenance.
+//
+// CompletionModel keeps per-slot completion PMFs (plus cumulative-mass
+// views) and re-convolves only from the first dirty slot after a mutation.
+// These tests drive seeded random sequences of the engine's structural
+// mutations — append, drop, start, complete, time advance — against one
+// model that receives exactly the engine's minimal invalidation hints, and
+// require its chain to be *bitwise equal* to a from-scratch rebuild at
+// every step. Invariants of the underlying stochastic model (mass
+// conservation, Eq. 2 bounds, append-probe consistency, deadline
+// monotonicity) ride along.
+#include "core/completion_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "pet/pet_builder.hpp"
+#include "prob/convolution.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace taskdrop {
+namespace {
+
+constexpr int kTaskTypes = 3;
+constexpr Tick kStride = 5;
+
+PetMatrix make_pet(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> means(
+      kTaskTypes, std::vector<double>(/*machine types=*/1));
+  for (auto& row : means) row[0] = rng.uniform(40.0, 160.0);
+  PetBuildOptions options;
+  options.bin_width = kStride;
+  options.samples_per_cell = 200;
+  return build_pet_from_means(means, rng, options);
+}
+
+/// Harness owning the queue state shared by an incrementally-invalidated
+/// model and a freshly-rebuilt one.
+struct ChainHarness {
+  explicit ChainHarness(std::uint64_t seed)
+      : pet(make_pet(seed)), machine(0, 0, /*capacity=*/64) {
+    tasks.reserve(256);
+  }
+
+  /// A model bound to the current state with nothing cached: queries
+  /// recompute the whole chain from scratch.
+  CompletionModel fresh_model(Tick now) {
+    CompletionModel model(&pet, &machine, &tasks, {});
+    model.set_now(now);
+    return model;
+  }
+
+  TaskId add_task(TaskTypeId type, Tick deadline) {
+    Task task;
+    task.id = static_cast<TaskId>(tasks.size());
+    task.type = type;
+    task.deadline = deadline;
+    task.state = TaskState::Queued;
+    tasks.push_back(task);
+    return task.id;
+  }
+
+  PetMatrix pet;
+  Machine machine;
+  std::vector<Task> tasks;
+};
+
+/// Bitwise chain comparison: every slot's completion PMF and cached chance.
+void expect_chain_bitwise_equal(CompletionModel& incremental,
+                                CompletionModel& rebuilt,
+                                const Machine& machine, const char* after) {
+  for (std::size_t pos = 0; pos < machine.queue.size(); ++pos) {
+    ASSERT_TRUE(incremental.completion(pos) == rebuilt.completion(pos))
+        << "completion PMF diverged at pos " << pos << " after " << after;
+    ASSERT_EQ(incremental.chance(pos), rebuilt.chance(pos))
+        << "chance diverged at pos " << pos << " after " << after;
+  }
+}
+
+class CompletionIncrementalTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompletionIncrementalTest, ChainMatchesFromScratchRebuild) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0x2545F4914F6CDD1Dull + 3);
+  ChainHarness h(seed);
+  const double mean = h.pet.mean_overall();
+
+  Tick now = 0;
+  CompletionModel incremental(&h.pet, &h.machine, &h.tasks, {});
+  incremental.set_now(now);
+
+  for (int step = 0; step < 60; ++step) {
+    const auto op = rng.uniform_int(0, 9);
+    const std::size_t q = h.machine.queue.size();
+    const char* what = "nothing";
+    if (op <= 3 || q == 0) {
+      // Append one task: the engine invalidates from the new tail slot.
+      const auto type = static_cast<TaskTypeId>(rng.uniform_int(0, kTaskTypes - 1));
+      const Tick deadline =
+          now + static_cast<Tick>(mean * rng.uniform(0.5, 6.0));
+      h.machine.enqueue(h.add_task(type, deadline));
+      incremental.invalidate_from(h.machine.queue.size() - 1);
+      what = "append";
+    } else if (op <= 6 && h.machine.pending_count() > 0) {
+      // Drop a random pending task: invalidate from its position.
+      const std::size_t pos = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(h.machine.first_pending_pos()),
+          static_cast<std::int64_t>(q - 1)));
+      h.machine.remove_at(pos);
+      incremental.invalidate_from(pos);
+      what = "drop";
+    } else if (op == 7 && h.machine.running) {
+      // Complete the running task: pop the front; every slot shifts.
+      h.machine.queue.pop_front();
+      h.machine.running = false;
+      incremental.invalidate_all();
+      what = "complete";
+    } else {
+      // Advance simulated time (the idle-machine base moves with `now`).
+      now += kStride * rng.uniform_int(1, 8);
+      incremental.set_now(now);
+      what = "advance";
+    }
+    // Engine invariant (start_next runs at the end of every mapping
+    // event): an up machine never sits idle with a non-empty queue. This
+    // is what licenses set_now's no-invalidation fast path — only the
+    // chain of a *running* machine survives a time advance, and that
+    // chain is rooted at run_start, not now.
+    if (!h.machine.running && !h.machine.queue.empty()) {
+      h.machine.running = true;
+      h.machine.run_start = now;
+      incremental.invalidate_all();
+    }
+
+    CompletionModel rebuilt = h.fresh_model(now);
+    expect_chain_bitwise_equal(incremental, rebuilt, h.machine, what);
+
+    // Model invariants at every step: each slot's completion PMF carries
+    // (sub-)unit mass, its chance respects Eq. 2's bounds, and the cached
+    // cumulative view answers exactly like the PMF it summarises.
+    for (std::size_t pos = 0; pos < h.machine.queue.size(); ++pos) {
+      const Pmf& completion = incremental.completion(pos);
+      const double mass = completion.total_mass();
+      ASSERT_LE(mass, 1.0 + 1e-9);
+      ASSERT_GE(mass, 1.0 - 1e-9);  // chains of proper PMFs stay proper
+      ASSERT_GE(incremental.chance(pos), 0.0);
+      ASSERT_LE(incremental.chance(pos), 1.0 + 1e-12);
+      const PmfCdf& cdf = incremental.completion_cdf(pos);
+      for (const Tick t : {completion.min_time() - 1, completion.min_time(),
+                           (completion.min_time() + completion.max_time()) / 2,
+                           completion.max_time() + 1}) {
+        ASSERT_EQ(cdf.mass_before(t), completion.mass_before(t))
+            << "cdf view diverged at horizon " << t << ", pos " << pos;
+      }
+    }
+  }
+}
+
+TEST_P(CompletionIncrementalTest, ChanceIfAppendedMatchesAppendThenChance) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 11);
+  ChainHarness h(seed);
+  const double mean = h.pet.mean_overall();
+  CompletionModel model(&h.pet, &h.machine, &h.tasks, {});
+  model.set_now(100);
+
+  for (int depth = 0; depth < 10; ++depth) {
+    const auto type = static_cast<TaskTypeId>(rng.uniform_int(0, kTaskTypes - 1));
+    const Tick deadline =
+        100 + static_cast<Tick>(mean * rng.uniform(0.5, 8.0));
+    // Probe first (no materialised convolution) ...
+    const double probe = model.chance_if_appended(type, deadline);
+    // ... then actually append and compare against the chain's Eq. 2.
+    h.machine.enqueue(h.add_task(type, deadline));
+    model.invalidate_from(h.machine.queue.size() - 1);
+    // The probe folds the *untrimmed* tail against the execution CDF while
+    // the materialised chain sheds sub-epsilon bins at every link, so the
+    // two agree to the library's proper-mass tolerance (1e-9), not to the
+    // single-kernel 1e-12 bound.
+    const double actual = model.chance(h.machine.queue.size() - 1);
+    ASSERT_NEAR(probe, actual, 1e-9)
+        << "depth " << depth << ", seed " << seed;
+  }
+}
+
+TEST_P(CompletionIncrementalTest, ChanceMonotoneUnderDeadlineTightening) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0xBF58476D1CE4E5B9ull + 5);
+  ChainHarness h(seed);
+  const Pmf& exec = h.pet.pmf(0, 0);
+
+  // Build a random predecessor chain, then sweep the last link's deadline:
+  // the chance of success (Eq. 2 of the Eq. 1 result) must be
+  // non-decreasing as the deadline loosens, and the completion mass below
+  // any fixed horizon must be non-increasing as the deadline tightens.
+  Pmf chain = Pmf::delta(kStride * rng.uniform_int(0, 10));
+  for (int link = 0; link < 3; ++link) {
+    const Tick d = chain.min_time() +
+                   kStride * rng.uniform_int(1, 40);
+    chain = deadline_convolve(chain, exec, d);
+  }
+  double prev = -1.0;
+  for (Tick d = chain.min_time() - kStride;
+       d <= chain.max_time() + exec.max_time() + kStride; d += kStride) {
+    const double chance =
+        chance_of_success(deadline_convolve(chain, exec, d), d);
+    ASSERT_GE(chance, prev - 1e-12) << "deadline " << d << ", seed " << seed;
+    prev = chance;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededSequences, CompletionIncrementalTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace taskdrop

@@ -1,0 +1,280 @@
+// Differential suite for the optimized convolution kernels.
+//
+// The workspace-based kernels in prob/convolution.cpp replace the original
+// O(n*m) per-call-allocating implementations. Those originals are preserved
+// verbatim below as `naive_reference` and the optimized kernels (both the
+// allocating wrappers and the *_into workspace variants, including the
+// chain-aliasing form) are checked against them on seeded random PMF pairs
+// covering strides, deltas, empty/singleton edges, and deadlines inside and
+// outside the predecessor support, to within 1e-12 per bin.
+#include "prob/convolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace taskdrop {
+namespace naive_reference {
+
+// The pre-optimization kernels, kept bit-for-bit as the reference
+// implementation. Only valid for lattice-compatible inputs (the optimized
+// kernels turn those misuses into exceptions; see the error-path tests).
+Tick combined_stride(const Pmf& a, const Pmf& b) {
+  if (a.size() <= 1) return b.size() <= 1 ? Tick{1} : b.stride();
+  if (b.size() <= 1) return a.stride();
+  return a.stride();
+}
+
+Pmf convolve(const Pmf& a, const Pmf& b) {
+  if (a.empty() || b.empty()) return Pmf();
+  const Tick stride = combined_stride(a, b);
+  const Tick lo = a.min_time() + b.min_time();
+  const Tick hi = a.max_time() + b.max_time();
+  std::vector<double> out(static_cast<std::size_t>((hi - lo) / stride) + 1,
+                          0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double pa = a.prob_at_index(i);
+    if (pa == 0.0) continue;
+    const Tick ta = a.time_at(i);
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const double pb = b.prob_at_index(j);
+      if (pb == 0.0) continue;
+      out[static_cast<std::size_t>((ta + b.time_at(j) - lo) / stride)] +=
+          pa * pb;
+    }
+  }
+  Pmf result(lo, stride, std::move(out));
+  result.trim();
+  return result;
+}
+
+Pmf deadline_convolve(const Pmf& pred, const Pmf& exec, Tick deadline) {
+  if (pred.empty()) return Pmf();
+
+  const bool has_conv = pred.min_time() < deadline;
+  const bool has_pass = pred.max_time() >= deadline;
+  if (!has_conv) return pred;
+
+  const Tick stride = combined_stride(pred, exec);
+  Tick last_start = pred.max_time();
+  if (last_start >= deadline) {
+    const Tick over = last_start - (deadline - 1);
+    last_start -= ((over + stride - 1) / stride) * stride;
+  }
+  Tick lo = pred.min_time() + exec.min_time();
+  Tick hi = last_start + exec.max_time();
+  if (has_pass) {
+    const Tick over = deadline - pred.min_time();
+    const Tick pass_lo =
+        pred.min_time() + ((over + stride - 1) / stride) * stride;
+    lo = std::min(lo, pass_lo);
+    hi = std::max(hi, pred.max_time());
+  }
+  std::vector<double> out(static_cast<std::size_t>((hi - lo) / stride) + 1,
+                          0.0);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double pk = pred.prob_at_index(i);
+    if (pk == 0.0) continue;
+    const Tick k = pred.time_at(i);
+    if (k < deadline) {
+      for (std::size_t j = 0; j < exec.size(); ++j) {
+        const double pe = exec.prob_at_index(j);
+        if (pe == 0.0) continue;
+        out[static_cast<std::size_t>((k + exec.time_at(j) - lo) / stride)] +=
+            pk * pe;
+      }
+    } else {
+      out[static_cast<std::size_t>((k - lo) / stride)] += pk;
+    }
+  }
+  Pmf result(lo, stride, std::move(out));
+  result.trim();
+  return result;
+}
+
+}  // namespace naive_reference
+
+namespace {
+
+using test::pmf_of;
+
+constexpr double kTol = 1e-12;
+
+/// Per-bin comparison over the union of both supports.
+void expect_pmf_close(const Pmf& actual, const Pmf& expected,
+                      const char* what, std::uint64_t seed) {
+  ASSERT_EQ(actual.empty(), expected.empty())
+      << what << " emptiness mismatch, seed " << seed;
+  if (expected.empty()) return;
+  ASSERT_EQ(actual.stride(), expected.stride())
+      << what << " stride mismatch, seed " << seed;
+  const Tick lo = std::min(actual.min_time(), expected.min_time());
+  const Tick hi = std::max(actual.max_time(), expected.max_time());
+  for (Tick t = lo; t <= hi; t += actual.stride()) {
+    ASSERT_NEAR(actual.prob_at(t), expected.prob_at(t), kTol)
+        << what << " at time " << t << ", seed " << seed;
+  }
+  ASSERT_NEAR(actual.total_mass(), expected.total_mass(), kTol)
+      << what << " mass, seed " << seed;
+}
+
+/// Random PMF on a stride lattice: mixes empties, deltas, singletons,
+/// interior zeros, unnormalised masses, and varying offsets/sizes.
+Pmf random_pmf(Rng& rng, Tick stride, bool allow_empty) {
+  const auto shape = rng.uniform_int(0, 9);
+  if (allow_empty && shape == 0) return Pmf();
+  const Tick offset = stride * rng.uniform_int(0, 30);
+  if (shape == 1) return Pmf::delta(offset);
+  if (shape == 2) {
+    // Singleton with non-unit mass (sub-probability impulse).
+    return Pmf(offset, stride, {rng.uniform(0.05, 1.0)});
+  }
+  const auto bins = static_cast<std::size_t>(rng.uniform_int(2, 48));
+  std::vector<double> probs(bins);
+  for (double& p : probs) {
+    p = rng.uniform01() < 0.2 ? 0.0 : rng.uniform(0.0, 1.0);
+  }
+  // Ensure the edges carry mass most of the time so trimming stays
+  // interesting but not dominant.
+  probs.front() = rng.uniform01() < 0.8 ? rng.uniform(0.1, 1.0) : 0.0;
+  probs.back() = rng.uniform01() < 0.8 ? rng.uniform(0.1, 1.0) : 0.0;
+  Pmf pmf(offset, stride, std::move(probs));
+  if (rng.uniform01() < 0.7) pmf.normalize();
+  return pmf;
+}
+
+Tick stride_for(Rng& rng) {
+  constexpr Tick kStrides[] = {1, 2, 5};
+  return kStrides[rng.uniform_int(0, 2)];
+}
+
+class ConvolutionDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvolutionDifferentialTest, ConvolveMatchesNaive) {
+  Rng rng(GetParam() * 0x9E3779B97F4A7C15ull + 1);
+  PmfWorkspace ws;
+  Pmf reused;  // persistent out-param: exercises capacity reuse
+  for (int round = 0; round < 4; ++round) {
+    const Tick stride = stride_for(rng);
+    const Pmf a = random_pmf(rng, stride, /*allow_empty=*/true);
+    const Pmf b = random_pmf(rng, stride, /*allow_empty=*/true);
+    const Pmf expected = naive_reference::convolve(a, b);
+    expect_pmf_close(convolve(a, b), expected, "convolve", GetParam());
+    convolve_into(a, b, ws, reused);
+    expect_pmf_close(reused, expected, "convolve_into", GetParam());
+  }
+}
+
+TEST_P(ConvolutionDifferentialTest, DeadlineConvolveMatchesNaive) {
+  Rng rng(GetParam() * 0xBF58476D1CE4E5B9ull + 7);
+  PmfWorkspace ws;
+  Pmf reused;
+  for (int round = 0; round < 2; ++round) {
+    const Tick stride = stride_for(rng);
+    const Pmf pred = random_pmf(rng, stride, /*allow_empty=*/true);
+    Pmf exec = random_pmf(rng, stride, /*allow_empty=*/false);
+    if (exec.empty()) exec = Pmf::delta(stride);
+    // Deadlines spanning every truncation regime: certain drop (at or
+    // below the support), mixed (inside), and pure convolution (beyond).
+    std::vector<Tick> deadlines;
+    if (!pred.empty()) {
+      deadlines = {pred.min_time() - 3, pred.min_time(),
+                   (pred.min_time() + pred.max_time()) / 2 + 1,
+                   pred.max_time(), pred.max_time() + stride,
+                   pred.max_time() + exec.max_time() + 11};
+    } else {
+      deadlines = {0, 17};
+    }
+    for (const Tick deadline : deadlines) {
+      const Pmf expected =
+          naive_reference::deadline_convolve(pred, exec, deadline);
+      expect_pmf_close(deadline_convolve(pred, exec, deadline), expected,
+                       "deadline_convolve", GetParam());
+      deadline_convolve_into(pred, exec, deadline, ws, reused);
+      expect_pmf_close(reused, expected, "deadline_convolve_into",
+                       GetParam());
+      // Chain-aliasing form: out is also the predecessor (the droppers'
+      // provisional-chain idiom).
+      ws.chain = pred;
+      deadline_convolve_into(ws.chain, exec, deadline, ws, ws.chain);
+      expect_pmf_close(ws.chain, expected, "aliased deadline_convolve_into",
+                       GetParam());
+    }
+  }
+}
+
+// 50 seeds x 4 convolve pairs and 50 seeds x 2 preds x 6 deadlines
+// ~= 200 random pairs per kernel, as the lockdown suite promises.
+INSTANTIATE_TEST_SUITE_P(SeededPairs, ConvolutionDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+// ------------------------- error paths -------------------------
+//
+// The stride-mismatch check used to be assert-only, so Release builds
+// silently produced a garbage lattice; it is now a real error path.
+
+TEST(ConvolutionErrors, StrideMismatchThrows) {
+  const Pmf a = pmf_of({{0, 0.5}, {3, 0.5}}, 3);
+  const Pmf b = pmf_of({{0, 0.5}, {5, 0.5}}, 5);
+  EXPECT_THROW(convolve(a, b), std::invalid_argument);
+  EXPECT_THROW(deadline_convolve(a, b, 100), std::invalid_argument);
+  PmfWorkspace ws;
+  Pmf out;
+  EXPECT_THROW(convolve_into(a, b, ws, out), std::invalid_argument);
+  EXPECT_THROW(deadline_convolve_into(a, b, 100, ws, out),
+               std::invalid_argument);
+}
+
+TEST(ConvolutionErrors, SingleImpulseSidestepsStrideMismatch) {
+  // Deltas are stride-agnostic shifts: no error even though strides differ.
+  const Pmf delta = Pmf::delta(7);
+  const Pmf b = pmf_of({{0, 0.5}, {5, 0.5}}, 5);
+  EXPECT_NO_THROW(convolve(delta, b));
+  EXPECT_NEAR(convolve(delta, b).total_mass(), 1.0, kTol);
+}
+
+TEST(ConvolutionErrors, EmptyExecThrows) {
+  const Pmf pred = pmf_of({{0, 0.5}, {1, 0.5}});
+  EXPECT_THROW(deadline_convolve(pred, Pmf(), 10), std::invalid_argument);
+}
+
+TEST(ConvolutionErrors, OffLatticeExecWithPassThroughThrows) {
+  // Pass-through bins exist (deadline inside pred support) and the exec
+  // offset 7 is not a multiple of stride 5: the two lattices cannot merge.
+  const Pmf pred = pmf_of({{10, 0.5}, {20, 0.5}}, 5);
+  const Pmf exec = pmf_of({{7, 0.5}, {12, 0.5}}, 5);
+  EXPECT_THROW(deadline_convolve(pred, exec, 15), std::invalid_argument);
+  // Without pass-through bins the result lives purely on pred + exec, so
+  // the same inputs are fine with a late deadline.
+  EXPECT_NO_THROW(deadline_convolve(pred, exec, 1000));
+}
+
+TEST(ConvolutionErrors, OffLatticeDeltaExecWithPassThroughThrows) {
+  // A single-impulse exec is normally a stride-agnostic shift, but mixed
+  // with pass-through bins the shifted and unshifted lattices cannot
+  // merge either — this must throw, not write a garbage (or out-of-range)
+  // bin.
+  const Pmf pred = pmf_of({{0, 0.4}, {10, 0.3}, {20, 0.3}}, 10);
+  const Pmf delta_exec = Pmf::delta(7);
+  EXPECT_THROW(deadline_convolve(pred, delta_exec, 15),
+               std::invalid_argument);
+  // On-lattice delta: fine, and equal to the naive reference.
+  const Pmf aligned = Pmf::delta(10);
+  expect_pmf_close(deadline_convolve(pred, aligned, 15),
+                   naive_reference::deadline_convolve(pred, aligned, 15),
+                   "aligned delta exec", 0);
+  // Off-lattice delta without pass-through bins: a pure shift, still fine.
+  EXPECT_NO_THROW(deadline_convolve(pred, delta_exec, 1000));
+  expect_pmf_close(deadline_convolve(pred, delta_exec, 1000),
+                   naive_reference::deadline_convolve(pred, delta_exec, 1000),
+                   "off-lattice delta exec, no pass-through", 0);
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -4,6 +4,7 @@
 
 #include "core/null_dropper.hpp"
 #include "core/proactive_heuristic_dropper.hpp"
+#include "sched/pam.hpp"
 #include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "test_util.hpp"
@@ -169,6 +170,25 @@ TEST(EngineEdge, BurstyArrivalsAreHarderThanPoissonWithoutDropping) {
   // Bursts concentrate load: robustness should not be better than Poisson.
   EXPECT_LE(run_pattern(ArrivalPattern::Bursty),
             run_pattern(ArrivalPattern::Poisson) + 2.0);
+}
+
+TEST(EngineEdge, DeferringMapperCannotStrandBatchTasks) {
+  // A deferring mapper (PAMD) refuses to map a task whose best chance of
+  // success is below its threshold. With a defer threshold no queue can
+  // satisfy, the only arrival event would leave the task in the batch
+  // queue forever; the engine's drain-time wakeup must instead expire it
+  // reactively at its deadline.
+  const PetMatrix pet = deterministic_pet();  // always takes 5 ticks
+  Trace trace;
+  trace.push_back(TaskSpec{0, 0, 1000});
+  PamMapper mapper(/*candidate_window=*/256, /*defer_threshold=*/1.1);
+  NullDropper dropper;
+  Engine engine(pet, {0}, mapper, dropper, EngineConfig{});
+  const SimResult result = engine.run(trace);
+  ASSERT_EQ(result.counts().total(), 1);
+  EXPECT_EQ(result.tasks[0].state, TaskState::DroppedReactive);
+  EXPECT_EQ(result.tasks[0].drop_time, 1000);
+  EXPECT_EQ(result.makespan, 1000);
 }
 
 }  // namespace
