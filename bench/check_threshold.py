@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_micro.json against the committed baseline.
+"""Compare a fresh bench JSON against the committed baseline.
 
     bench/check_threshold.py BASELINE NEW [--max-ratio 1.5]
 
-Fails (exit 1) when any benchmark's cpu_time regressed by more than
---max-ratio x its baseline. The default leaves headroom for shared-runner
-noise while still catching real regressions in the PMF hot paths (the
-workspace kernels made the baseline fast enough that the original 3x
-allowance would let an accidental extra allocation or copy through) —
-tighten further locally when comparing runs on one quiet machine.
+Fails (exit 1) when any benchmark's cpu_time regressed by more than its
+threshold x baseline. The threshold is per benchmark:
 
+  * --max-ratio (default 1.5) is the base allowance — loose enough for
+    shared-runner noise while still catching real regressions in the PMF
+    hot paths;
+  * benchmarks whose baseline is sub-microsecond get the base allowance
+    times SUB_MICROSECOND_FACTOR: at that scale a CI runner's scheduling
+    jitter and frequency steps are the same order of magnitude as the
+    measurement, and the fast benches were observed to flap under a flat
+    1.5x gate (see ROADMAP, CI-noise characterisation);
+  * PER_BENCH_MAX_RATIO pins exact keys that need their own allowance,
+    overriding both rules above.
+
+Accepts both the micro (taskdrop-bench-micro/v1) and macro
+(taskdrop-bench-macro/v1) merged-JSON schemas produced by bench/run_all.sh.
 Benchmarks present on only one side are reported but never fail the check,
-so adding or retiring a micro bench does not break CI.
+so adding or retiring a bench does not break CI. The threshold table is
+unit-tested by bench/test_check_threshold.py (wired into ctest).
 """
 import argparse
 import json
@@ -19,12 +29,40 @@ import sys
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+ACCEPTED_SCHEMAS = ("taskdrop-bench-micro/v1", "taskdrop-bench-macro/v1")
+
+#: Baselines under this many nanoseconds are treated as noise-dominated.
+SUB_MICROSECOND_NS = 1000.0
+
+#: Extra allowance factor for noise-dominated (sub-microsecond) baselines.
+SUB_MICROSECOND_FACTOR = 2.0
+
+#: Exact-key overrides: "suite/benchmark name" -> max ratio. Takes
+#: precedence over the sub-microsecond widening.
+PER_BENCH_MAX_RATIO = {
+    # End-to-end trials run for tens of milliseconds and average scheduler
+    # noise out, so hold the big ones to a tighter bar than the kernels.
+    "macro_trial/spec_hc/PAM/10k": 1.4,
+    "macro_trial/spec_hc/PAM_deep/5k": 1.4,
+    "macro_trial/spec_hc/MM/10k": 1.4,
+}
+
+
+def threshold_for(key, baseline_ns, base_ratio):
+    """Max allowed new/baseline cpu_time ratio for one benchmark."""
+    if key in PER_BENCH_MAX_RATIO:
+        return PER_BENCH_MAX_RATIO[key]
+    if baseline_ns < SUB_MICROSECOND_NS:
+        return base_ratio * SUB_MICROSECOND_FACTOR
+    return base_ratio
+
 
 def load(path):
     with open(path) as fh:
         merged = json.load(fh)
-    if merged.get("schema") != "taskdrop-bench-micro/v1":
-        sys.exit(f"{path}: unexpected schema {merged.get('schema')!r}")
+    if merged.get("schema") not in ACCEPTED_SCHEMAS:
+        sys.exit(f"{path}: unexpected schema {merged.get('schema')!r} "
+                 f"(accepted: {', '.join(ACCEPTED_SCHEMAS)})")
     times = {}
     for suite, payload in merged["benchmarks"].items():
         for bench in payload.get("benchmarks", []):
@@ -40,7 +78,8 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("new")
     parser.add_argument("--max-ratio", type=float, default=1.5,
-                        help="fail when new/baseline cpu_time exceeds this")
+                        help="base allowed new/baseline cpu_time ratio "
+                             "(widened per benchmark; see module docstring)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -55,19 +94,21 @@ def main():
             print(f"  MISSING  {key} (baseline only)")
             continue
         ratio = fresh[key] / baseline[key]
-        status = "FAIL" if ratio > args.max_ratio else "ok"
+        allowed = threshold_for(key, baseline[key], args.max_ratio)
+        status = "FAIL" if ratio > allowed else "ok"
         print(f"  {status:<8} {key}: {baseline[key]:.1f} ns -> "
-              f"{fresh[key]:.1f} ns ({ratio:.2f}x)")
-        if ratio > args.max_ratio:
-            failures.append((key, ratio))
+              f"{fresh[key]:.1f} ns ({ratio:.2f}x, limit {allowed:.2f}x)")
+        if ratio > allowed:
+            failures.append((key, ratio, allowed))
 
     if failures:
-        print(f"\n{len(failures)} benchmark(s) regressed beyond "
-              f"{args.max_ratio}x:", file=sys.stderr)
-        for key, ratio in failures:
-            print(f"  {key}: {ratio:.2f}x", file=sys.stderr)
+        print(f"\n{len(failures)} benchmark(s) regressed beyond their "
+              f"threshold:", file=sys.stderr)
+        for key, ratio, allowed in failures:
+            print(f"  {key}: {ratio:.2f}x (limit {allowed:.2f}x)",
+                  file=sys.stderr)
         return 1
-    print(f"\nall benchmarks within {args.max_ratio}x of baseline")
+    print("\nall benchmarks within their thresholds")
     return 0
 
 

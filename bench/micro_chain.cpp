@@ -32,8 +32,9 @@ std::unique_ptr<SystemSandbox> make_queue(int depth) {
   return sandbox;
 }
 
-/// PAM's phase-1 probe against an already-cached deep tail: a pure CDF dot
-/// product whose cost tracks the tail PMF's support width.
+/// PAM's phase-1 probe against an already-cached deep tail. With the
+/// revision-keyed appended-distribution cache a repeated probe is a pure
+/// memo lookup, independent of the tail PMF's support width.
 void BM_DeepChanceIfAppended(benchmark::State& state) {
   const int depth = static_cast<int>(state.range(0));
   auto sandbox = make_queue(depth);
@@ -45,6 +46,25 @@ void BM_DeepChanceIfAppended(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeepChanceIfAppended)->RangeMultiplier(2)->Range(8, 64);
+
+/// A phase-1 scan shape: many *distinct* deadlines against one warm tail.
+/// Each first touch of a lattice cell folds only the O(|exec|) unsaturated
+/// window on top of the cached saturated prefix; repeats are O(1).
+void BM_DeepAppendedScan(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto sandbox = make_queue(depth);
+  const double mean = scenario().pet.mean_overall();
+  sandbox->model(0).instantaneous_robustness();  // warm the chain cache
+  const auto base = static_cast<Tick>(mean * depth);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (Tick d = 0; d < 64; ++d) {
+      sum += sandbox->model(0).chance_if_appended(0, base + 3 * d);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DeepAppendedScan)->RangeMultiplier(2)->Range(8, 64);
 
 /// The common mapping-event mutation at depth: append one task and query
 /// only the new tail. Dirty-index tracking makes this a single

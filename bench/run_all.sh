@@ -1,19 +1,31 @@
 #!/usr/bin/env bash
-# Run every micro benchmark and merge the results into one JSON baseline.
+# Run a set of Google-Benchmark binaries and merge the results into one
+# JSON baseline.
 #
-#   bench/run_all.sh <bin-dir> [out.json]
+#   bench/run_all.sh <bin-dir> [out.json] [schema] [bench ...]
 #
-# <bin-dir> is the directory holding the micro_* binaries (e.g.
-# build/bench). Also available as `cmake --build build --target bench_micro`,
-# which writes BENCH_micro.json in the repository root.
+# <bin-dir> is the directory holding the bench binaries (e.g. build/bench).
+# Defaults reproduce the micro baseline; the macro baseline is
+#
+#   bench/run_all.sh build/bench BENCH_macro.json taskdrop-bench-macro/v1 macro_trial
+#
+# Also available as `cmake --build build --target bench_micro` /
+# `... --target bench_macro`, which write BENCH_micro.json /
+# BENCH_macro.json in the repository root.
 set -euo pipefail
 
-bin_dir=${1:?usage: run_all.sh <bin-dir> [out.json]}
+bin_dir=${1:?usage: run_all.sh <bin-dir> [out.json] [schema] [bench ...]}
 out=${2:-BENCH_micro.json}
+schema=${3:-taskdrop-bench-micro/v1}
+shift $(( $# > 3 ? 3 : $# ))
+benches=("$@")
+if [[ ${#benches[@]} -eq 0 ]]; then
+  benches=(micro_chain micro_completion micro_convolution micro_dropper)
+fi
+
 tmp_dir=$(mktemp -d)
 trap 'rm -rf "$tmp_dir"' EXIT
 
-benches=(micro_chain micro_completion micro_convolution micro_dropper)
 for bench in "${benches[@]}"; do
   exe="$bin_dir/$bench"
   if [[ ! -x "$exe" ]]; then
@@ -26,10 +38,10 @@ for bench in "${benches[@]}"; do
          --benchmark_out_format=json
 done
 
-python3 - "$out" "$tmp_dir" "${benches[@]}" <<'EOF'
+python3 - "$out" "$schema" "$tmp_dir" "${benches[@]}" <<'EOF'
 import json, sys
-out, tmp_dir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
-merged = {"schema": "taskdrop-bench-micro/v1", "benchmarks": {}}
+out, schema, tmp_dir, names = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4:]
+merged = {"schema": schema, "benchmarks": {}}
 for name in names:
     with open(f"{tmp_dir}/{name}.json") as fh:
         merged["benchmarks"][name] = json.load(fh)

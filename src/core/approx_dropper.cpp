@@ -57,7 +57,7 @@ void ApproxDropper::run(SystemView& view, SchedulerOps& ops) {
     CompletionModel& model =
         (*view.models)[static_cast<std::size_t>(machine.id)];
     auto& examined = examined_versions_[static_cast<std::size_t>(machine.id)];
-    if (model.structure_version() == examined) continue;
+    if (model.revision() == examined) continue;
 
     std::size_t pos = machine.first_pending_pos();
     while (pos < machine.queue.size()) {
@@ -68,9 +68,17 @@ void ApproxDropper::run(SystemView& view, SchedulerOps& ops) {
           (*view.tasks)[static_cast<std::size_t>(machine.queue[pos])];
       const Pmf& pred = model.predecessor(pos);
 
-      const double keep = weighted_window_utility(
-          pred, machine, *view.tasks, *view.pet, view.approx_pet, pos,
-          window_end, weight, kNone, kNone, ws_);
+      // Keep utility straight from the model's cached chain: the cached
+      // per-slot chances are the same convolution sequence the provisional
+      // keep walk would rebuild, so folding them (in the same ascending
+      // order, with the same weights) is bit-identical and saves one full
+      // window walk per examined position.
+      double keep = 0.0;
+      for (std::size_t n = pos; n <= window_end; ++n) {
+        const Task& kept =
+            (*view.tasks)[static_cast<std::size_t>(machine.queue[n])];
+        keep += (kept.approximate ? weight : 1.0) * model.chance(n);
+      }
       const double drop =
           is_last ? -1.0
                   : weighted_window_utility(
@@ -98,7 +106,7 @@ void ApproxDropper::run(SystemView& view, SchedulerOps& ops) {
         ++pos;
       }
     }
-    examined = model.structure_version();
+    examined = model.revision();
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "prob/convolution.hpp"
 
@@ -41,6 +42,7 @@ void CompletionModel::invalidate_from(std::size_t pos) {
   valid_count_ = std::min(valid_count_, pos);
   cdf_valid_count_ = std::min(cdf_valid_count_, pos);
   ++version_;
+  ++chain_version_;
 }
 
 const Pmf& execution_pmf(const Task& task, MachineTypeId machine_type,
@@ -152,8 +154,14 @@ const Pmf& CompletionModel::tail() {
 
 double CompletionModel::tail_mean() {
   if (machine_->queue.empty()) return static_cast<double>(now_);
+  if (tail_mean_valid_ && tail_mean_revision_ == chain_version_) {
+    return tail_mean_;
+  }
   const std::size_t last = machine_->queue.size() - 1;
-  return completion(last).mean();
+  tail_mean_ = completion(last).mean();
+  tail_mean_revision_ = chain_version_;
+  tail_mean_valid_ = true;
+  return tail_mean_;
 }
 
 double CompletionModel::instantaneous_robustness() {
@@ -162,7 +170,8 @@ double CompletionModel::instantaneous_robustness() {
   return sum;
 }
 
-double CompletionModel::chance_if_appended(TaskTypeId type, Tick deadline) {
+double CompletionModel::direct_chance_if_appended(TaskTypeId type,
+                                                  Tick deadline) {
   const PmfCdf& exec_cdf = pet_->cdf(type, machine_->type);
   if (machine_->queue.empty()) {
     // The task would start immediately at now_.
@@ -182,6 +191,140 @@ double CompletionModel::chance_if_appended(TaskTypeId type, Tick deadline) {
     sum += p[i] * exec_cdf.mass_before(deadline - k);
   }
   return sum;
+}
+
+CompletionModel::AppendedSlot& CompletionModel::appended_slot(
+    TaskTypeId type) {
+  if (appended_.empty()) {
+    appended_.resize(static_cast<std::size_t>(pet_->task_type_count()));
+  }
+  AppendedSlot& slot = appended_[static_cast<std::size_t>(type)];
+  if (slot.stamped && slot.revision == chain_version_) return slot;
+
+  // Re-stamp: recompute the combined lattice for the current tail. The
+  // appended chance F(d) only changes as d crosses a point of
+  // {tail bin + exec bin}, which (deltas aside) all lie on the lattice
+  // {tail.min + exec.min + i*stride} — so one cached evaluation per lattice
+  // cell reproduces the direct fold at *every* deadline, bit for bit.
+  const Pmf& pred = machine_->queue.empty()
+                        ? base_
+                        : completion(machine_->queue.size() - 1);
+  const Pmf& exec = pet_->pmf(type, machine_->type);
+  slot.incompatible =
+      pred.size() > 1 && exec.size() > 1 && pred.stride() != exec.stride();
+  slot.revision = chain_version_;
+  slot.stamped = true;
+  slot.view_ready = false;
+  if (slot.incompatible) return slot;
+  slot.stride = pred.size() > 1
+                    ? pred.stride()
+                    : (exec.size() > 1 ? exec.stride() : Tick{1});
+  slot.offset = pred.min_time() + exec.min_time();
+  const auto bins = static_cast<std::size_t>(
+      (pred.max_time() + exec.max_time() - slot.offset) / slot.stride + 1);
+  slot.value.resize(bins + 1);
+  slot.known.assign(bins + 1, 0);
+  slot.pred = &pred;
+  slot.exec = &exec;
+  // Left-fold prefixes of the saturated terms (see AppendedSlot): one
+  // O(|tail|) pass per restamp — the price of a single direct fold —
+  // after which every cell costs O(|exec|).
+  const double exec_total = pet_->cdf(type, machine_->type).total_mass();
+  slot.sat_prefix.resize(pred.size());
+  {
+    double acc = 0.0;
+    const double* p = pred.data();
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      if (p[i] != 0.0) acc += p[i] * exec_total;
+      slot.sat_prefix[i] = acc;
+    }
+  }
+  return slot;
+}
+
+double CompletionModel::appended_cell(AppendedSlot& slot, TaskTypeId type,
+                                      std::size_t cell) {
+  if (slot.known[cell]) return slot.value[cell];
+  // Fold the unsaturated window of sum_i p_i * E(d - k_i) on top of the
+  // saturated prefix, in the same ascending-i order as the direct fold.
+  // Tail bins with i >= cell only ever multiply E(x <= exec.min) == 0 and
+  // are skipped, exactly like the direct fold's break-plus-zero terms.
+  const PmfCdf& exec_cdf = pet_->cdf(type, machine_->type);
+  const Pmf& pred = *slot.pred;
+  const std::size_t exec_bins = slot.exec->size();
+  double sum = 0.0;
+  std::size_t window_lo = 0;
+  if (cell >= exec_bins) {
+    const std::size_t m = std::min(cell - exec_bins, pred.size() - 1);
+    sum = slot.sat_prefix[m];
+    window_lo = cell - exec_bins + 1;
+  }
+  const double* p = pred.data();
+  const std::size_t window_hi = std::min(cell, pred.size());
+  for (std::size_t i = window_lo; i < window_hi; ++i) {
+    if (p[i] == 0.0) continue;
+    // In-window terms sit at execution-prefix index cell - i by lattice
+    // arithmetic (same double mass_before(d - k_i) would return).
+    sum += p[i] * exec_cdf.prefix_at(cell - i);
+  }
+  slot.value[cell] = sum;
+  slot.known[cell] = 1;
+  return sum;
+}
+
+double CompletionModel::chance_if_appended(TaskTypeId type, Tick deadline) {
+  // The idle-empty probe depends on `now` rather than the revision and is
+  // already a single CDF lookup; memoising it would only add staleness
+  // hazards.
+  if (machine_->queue.empty()) {
+    return direct_chance_if_appended(type, deadline);
+  }
+  AppendedSlot& slot = appended_slot(type);
+  if (slot.incompatible) return direct_chance_if_appended(type, deadline);
+  if (deadline <= slot.offset) return 0.0;
+  // Snap the deadline up to its combined-lattice cell; F is constant (and
+  // bit-identical to the direct fold) across the half-open cell interval.
+  const auto cell = std::min<std::size_t>(
+      static_cast<std::size_t>(
+          (deadline - slot.offset + slot.stride - 1) / slot.stride),
+      slot.value.size() - 1);
+  return appended_cell(slot, type, cell);
+}
+
+const PmfCdf& CompletionModel::appended_view(TaskTypeId type) {
+  if (machine_->queue.empty()) {
+    // Build a transient-lattice slot rooted at the idle base delta(now_).
+    // The queue is empty, so the revision stamp alone cannot witness `now`
+    // changes; force a rebuild instead of trusting the stamp.
+    AppendedSlot& slot = appended_slot(type);
+    slot.stamped = false;  // never reuse across calls
+    if (slot.incompatible) {
+      throw std::invalid_argument(
+          "appended_view: tail/execution stride mismatch");
+    }
+    auto& prefix =
+        slot.view.rebuild_prefix(slot.offset, slot.stride,
+                                 slot.value.size() - 1);
+    for (std::size_t i = 0; i < slot.value.size(); ++i) {
+      prefix[i] = direct_chance_if_appended(
+          type, slot.offset + static_cast<Tick>(i) * slot.stride);
+    }
+    return slot.view;
+  }
+  AppendedSlot& slot = appended_slot(type);
+  if (slot.incompatible) {
+    throw std::invalid_argument(
+        "appended_view: tail/execution stride mismatch");
+  }
+  if (!slot.view_ready) {
+    auto& prefix = slot.view.rebuild_prefix(slot.offset, slot.stride,
+                                            slot.value.size() - 1);
+    for (std::size_t i = 0; i < slot.value.size(); ++i) {
+      prefix[i] = appended_cell(slot, type, i);
+    }
+    slot.view_ready = true;
+  }
+  return slot.view;
 }
 
 double window_chance_sum(const Pmf& pred, const Machine& machine,

@@ -34,6 +34,13 @@ namespace taskdrop {
 /// shared PmfWorkspace, so steady-state chain maintenance performs no
 /// allocation.
 ///
+/// On top of the chain cache sits a revision-keyed appended-distribution
+/// cache: the provisional "what if a task of type t were appended here"
+/// distribution depends only on (machine state, task type) — a candidate's
+/// deadline is just a CDF evaluation point — so its cumulative table is
+/// built at most once per (machine, task type) per revision and every
+/// further probe is an O(1) lookup (chance_if_appended / appended_view).
+///
 /// The model reads the machine's queue and the global task table at query
 /// time; the engine owns both and calls invalidate_* on every structural
 /// mutation (enqueue, drop, start, completion).
@@ -67,11 +74,24 @@ class CompletionModel {
   void invalidate_from(std::size_t pos);
   void invalidate_all() { invalidate_from(0); }
 
-  /// Monotone counter bumped by every invalidation. Chances of success only
-  /// change when the queue structure (or the conditioned base) changes, so
-  /// droppers use this to skip machines whose queues they already examined
-  /// in a previous mapping event.
-  std::uint64_t structure_version() const { return version_; }
+  /// Bumps the revision without touching the cached chain. The engine
+  /// calls this when a queue head starts executing with run_start == now:
+  /// the chain PMFs are bit-identical before and after (the pending head's
+  /// deadline truncation was vacuous), so the chain and the value memos
+  /// keyed on it stay valid — but revision-keyed consumers must still
+  /// observe the start. The proactive droppers' single head-to-tail pass
+  /// is order-dependent (a drop at position i changes the influence zones
+  /// of the positions already examined), and their examined-revision skip
+  /// uses the re-examination this bump schedules to reach the same fixed
+  /// point the always-invalidate engine reached.
+  void bump_revision() { ++version_; }
+
+  /// Monotone counter bumped by every invalidate_from/invalidate_all and
+  /// by bump_revision. Chances of success only change when the queue
+  /// structure (or the conditioned base) changes, so droppers use it to
+  /// skip machines whose queues they already examined in a previous
+  /// mapping event.
+  std::uint64_t revision() const { return version_; }
 
   /// Completion-time PMF of queue position `pos` (Eq. 1).
   const Pmf& completion(std::size_t pos);
@@ -94,7 +114,9 @@ class CompletionModel {
   /// machine would start a newly appended task. delta(now) when idle-empty.
   const Pmf& tail();
 
-  /// Mean of tail(), cached (hot in the mapping heuristics' phase 1).
+  /// Mean of tail(), memoised per revision (hot in the mapping heuristics'
+  /// phase-2 expected-completion scans, which query it once per candidate
+  /// (task, machine) pair per round).
   double tail_mean();
 
   /// Instantaneous robustness of this machine queue — Eq. 3: the sum of
@@ -108,12 +130,67 @@ class CompletionModel {
   /// i.e. a dot product of the cached tail PMF against the execution CDF —
   /// Eq. 2 applied to Eq. 1 without materialising the convolution, in the
   /// same summation order so probe and chain decisions stay bit-compatible.
+  ///
+  /// The dot product is memoised per (task type, deadline lattice cell)
+  /// into the revision-keyed appended-distribution cache (see
+  /// appended_view): the appended chance is piecewise constant between
+  /// points of the combined tail x execution lattice, so one evaluation
+  /// per cell serves every deadline that snaps to it. A mapping-event scan
+  /// that probes the same (machine, task) pair across successive PAM
+  /// rounds — or across events that leave this queue untouched — pays the
+  /// O(|tail|) fold once and O(1) afterwards, bit-identically.
   double chance_if_appended(TaskTypeId type, Tick deadline);
 
+  /// Cumulative view of the appended-completion distribution for `type`:
+  /// mass_before(d) is exactly chance_if_appended(type, d) for every d.
+  /// Built at most once per (machine, task type) per revision into
+  /// per-model cached storage; a phase-1 scan evaluating one view at many
+  /// deadlines is a few table builds plus O(1) lookups instead of one
+  /// tail-fold per (candidate, machine) pair. Throws std::invalid_argument
+  /// when the tail and execution lattices are incompatible (mixed strides
+  /// — never the case for PMFs built by one scenario). The reference is
+  /// valid until the next mutation of this machine's queue.
+  const PmfCdf& appended_view(TaskTypeId type);
+
  private:
+  /// Per-(task type) appended-distribution cache entry. `value[i]` holds
+  /// the appended chance at combined-lattice point offset + i*stride,
+  /// filled lazily cell by cell (chance_if_appended) or fully
+  /// (appended_view); `known` tracks which cells are filled.
+  ///
+  /// Cell evaluation is O(|exec|) instead of the direct fold's O(|tail|):
+  /// in the ascending-time dot product sum_i p_i * E(d - k_i), every tail
+  /// bin with d - k_i beyond the execution support contributes exactly
+  /// p_i * E_total, and those bins come *first* in ascending order — so
+  /// their running sums are the left-fold prefixes cached in `sat_prefix`
+  /// and each cell only folds the O(|exec|) window of unsaturated terms on
+  /// top of the matching prefix, reproducing the direct fold bit for bit.
+  struct AppendedSlot {
+    Tick offset = 0;
+    Tick stride = 1;
+    std::vector<double> value;
+    std::vector<unsigned char> known;
+    /// sat_prefix[i] = left fold of p_0*E_total .. p_i*E_total over the
+    /// tail PMF, where E_total is the execution CDF's total mass.
+    std::vector<double> sat_prefix;
+    /// The cached tail and execution PMFs the cells fold over; stable for
+    /// the lifetime of the stamp (invalidations restamp before reuse).
+    const Pmf* pred = nullptr;
+    const Pmf* exec = nullptr;
+    PmfCdf view;
+    bool view_ready = false;
+    /// Tail/exec stride mismatch: fall back to direct evaluation.
+    bool incompatible = false;
+    std::uint64_t revision = 0;
+    bool stamped = false;
+  };
+
   const Pmf& exec_pmf(std::size_t pos) const;
   void ensure(std::size_t pos);
   void compute_running_completion(Pmf& out);
+  AppendedSlot& appended_slot(TaskTypeId type);
+  double appended_cell(AppendedSlot& slot, TaskTypeId type, std::size_t cell);
+  double direct_chance_if_appended(TaskTypeId type, Tick deadline);
   PmfWorkspace& workspace() {
     return shared_ws_ != nullptr ? *shared_ws_ : owned_ws_;
   }
@@ -138,6 +215,22 @@ class CompletionModel {
   std::size_t valid_count_ = 0;
   std::size_t cdf_valid_count_ = 0;
   std::uint64_t version_ = 0;
+  /// Bumped only by invalidate_from — i.e. exactly when the cached chain
+  /// contents change. bump_revision (a start with an unchanged chain)
+  /// advances version_ but not this, so the value memos below survive it.
+  std::uint64_t chain_version_ = 0;
+
+  /// Appended-distribution cache, one slot per task type (sized on first
+  /// use). Slots are stamped with the chain version they were built at;
+  /// the idle-empty queue is evaluated directly (it depends on `now`, not
+  /// on the revision, and costs a single execution-CDF lookup anyway).
+  std::vector<AppendedSlot> appended_;
+
+  /// tail_mean memo (valid while tail_mean_revision_ == chain_version_ and
+  /// the queue is non-empty; the empty-queue mean is just `now`).
+  double tail_mean_ = 0.0;
+  std::uint64_t tail_mean_revision_ = 0;
+  bool tail_mean_valid_ = false;
 
   PmfWorkspace* shared_ws_ = nullptr;
   PmfWorkspace owned_ws_;

@@ -4,6 +4,7 @@
 
 #include "core/completion_model.hpp"
 #include "pet/pet_matrix.hpp"
+#include "sim/batch_queue.hpp"
 #include "sim/machine.hpp"
 #include "sim/task.hpp"
 #include "util/time_types.hpp"
@@ -26,7 +27,7 @@ struct SystemView {
   /// One completion model per machine, same indexing as `machines`.
   std::vector<CompletionModel>* models = nullptr;
   /// Unmapped tasks in arrival order (the batch queue of Fig. 1).
-  const std::vector<TaskId>* batch_queue = nullptr;
+  const BatchQueue* batch_queue = nullptr;
 
   Task& task(TaskId id) const { return (*tasks)[static_cast<std::size_t>(id)]; }
 };

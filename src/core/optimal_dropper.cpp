@@ -8,41 +8,99 @@
 namespace taskdrop {
 namespace {
 
-/// Instantaneous robustness (Eq. 3) of one machine queue when the pending
-/// positions in `dropped_mask` (bit k = droppable position k) are removed.
-/// `droppable` maps mask bits to queue positions.
-double robustness_without(const Machine& machine, const std::vector<Task>& tasks,
-                          const PetMatrix& pet, const PetMatrix* approx_pet,
-                          CompletionModel& model,
-                          const std::vector<std::size_t>& droppable,
-                          unsigned mask, PmfWorkspace& ws) {
-  // Chain over the surviving queue, starting from the running task's
-  // completion (whose chance is unaffected by pending drops) or from the
-  // idle-machine base. The candidate chain lives in the dropper's
-  // workspace, so evaluating all 2^(q-1) subsets allocates nothing.
-  double sum = 0.0;
-  Pmf& chain = ws.chain;
-  std::size_t start = machine.first_pending_pos();
-  if (machine.running) {
-    sum += model.chance(0);
-    chain = model.completion(0);
-  } else {
-    chain = model.predecessor(start);
+/// One subset-enumeration pass over a machine queue, sharing provisional
+/// chain prefixes across subsets.
+///
+/// The droppable positions are the consecutive pending positions
+/// [start, q-2]; the last task is always kept. Instead of rebuilding the
+/// surviving chain from scratch per subset (2^k walks of up to k+1
+/// convolutions each), the enumeration branches on the lowest dropped
+/// position b: every position before b is kept, so its chance comes from
+/// the model's cached chain (ensure() built it with the identical
+/// convolution sequence), and the subtree of subsets behind b shares each
+/// chain prefix — one convolution per enumeration-tree edge instead of one
+/// per (subset, position). All 2^k robustness values land in `results`
+/// indexed by drop mask, so the selection loop can scan masks in plain
+/// ascending order and stays bit-identical to the direct evaluation,
+/// epsilon tie-breaks included.
+class SubsetEnumerator {
+ public:
+  SubsetEnumerator(const Machine& machine, const std::vector<Task>& tasks,
+                   const PetMatrix& pet, const PetMatrix* approx_pet,
+                   CompletionModel& model, std::size_t droppable_count,
+                   PmfWorkspace& ws, std::vector<Pmf>& chain_stack,
+                   std::vector<double>& results)
+      : machine_(machine), tasks_(tasks), pet_(pet), approx_pet_(approx_pet),
+        model_(model), start_(machine.first_pending_pos()),
+        k_(droppable_count), ws_(ws), chain_stack_(chain_stack),
+        results_(results) {
+    if (chain_stack_.size() < k_ + 1) chain_stack_.resize(k_ + 1);
+    results_.assign(std::size_t{1} << k_, 0.0);
   }
-  std::size_t bit = 0;
-  for (std::size_t pos = start; pos < machine.queue.size(); ++pos) {
-    const bool dropped = bit < droppable.size() && droppable[bit] == pos &&
-                         ((mask >> bit) & 1u);
-    if (bit < droppable.size() && droppable[bit] == pos) ++bit;
-    if (dropped) continue;
-    const Task& task = tasks[static_cast<std::size_t>(machine.queue[pos])];
-    deadline_convolve_into(chain,
-                           execution_pmf(task, machine.type, pet, approx_pet),
-                           task.deadline, ws, chain);
-    sum += chain.mass_before(task.deadline);
+
+  void enumerate() {
+    // Mask 0 (keep everything) is the model's cached Eq. 3 sum.
+    double keep_all = 0.0;
+    for (std::size_t pos = 0; pos < machine_.queue.size(); ++pos) {
+      keep_all += model_.chance(pos);
+    }
+    results_[0] = keep_all;
+
+    // Subtrees by lowest dropped position. The prefix [0, start_+b) is
+    // kept, so its chance sum folds the cached per-slot chances in the
+    // same ascending order the direct walk used.
+    double prefix_sum = 0.0;
+    for (std::size_t i = 0; i < start_; ++i) prefix_sum += model_.chance(i);
+    for (std::size_t b = 0; b < k_; ++b) {
+      const std::size_t pos = start_ + b;
+      descend(b + 1, model_.predecessor(pos), prefix_sum,
+              1u << b, /*depth=*/0);
+      prefix_sum += model_.chance(pos);
+    }
   }
-  return sum;
-}
+
+ private:
+  const Pmf& exec_of(std::size_t pos) const {
+    const Task& task =
+        tasks_[static_cast<std::size_t>(machine_.queue[pos])];
+    return execution_pmf(task, machine_.type, pet_, approx_pet_);
+  }
+
+  /// Extends `chain` over droppable bits [bit, k_) then the always-kept
+  /// queue tail, recording one robustness per completed mask.
+  void descend(std::size_t bit, const Pmf& chain, double sum, unsigned mask,
+               std::size_t depth) {
+    if (bit == k_) {
+      const std::size_t last = machine_.queue.size() - 1;
+      const Task& task =
+          tasks_[static_cast<std::size_t>(machine_.queue[last])];
+      Pmf& out = chain_stack_[depth];
+      deadline_convolve_into(chain, exec_of(last), task.deadline, ws_, out);
+      results_[mask] = sum + out.mass_before(task.deadline);
+      return;
+    }
+    const std::size_t pos = start_ + bit;
+    const Task& task = tasks_[static_cast<std::size_t>(machine_.queue[pos])];
+    // Keep position `pos`: one convolution shared by the whole subtree.
+    Pmf& kept = chain_stack_[depth];
+    deadline_convolve_into(chain, exec_of(pos), task.deadline, ws_, kept);
+    descend(bit + 1, kept, sum + kept.mass_before(task.deadline), mask,
+            depth + 1);
+    // Drop position `pos`: the chain and sum pass through unchanged.
+    descend(bit + 1, chain, sum, mask | (1u << bit), depth);
+  }
+
+  const Machine& machine_;
+  const std::vector<Task>& tasks_;
+  const PetMatrix& pet_;
+  const PetMatrix* approx_pet_;
+  CompletionModel& model_;
+  std::size_t start_;
+  std::size_t k_;
+  PmfWorkspace& ws_;
+  std::vector<Pmf>& chain_stack_;
+  std::vector<double>& results_;
+};
 
 }  // namespace
 
@@ -51,27 +109,27 @@ void OptimalDropper::run(SystemView& view, SchedulerOps& ops) {
   for (Machine& machine : *view.machines) {
     CompletionModel& model = (*view.models)[static_cast<std::size_t>(machine.id)];
     auto& examined = examined_versions_[static_cast<std::size_t>(machine.id)];
-    if (model.structure_version() == examined) continue;
-    examined = model.structure_version();
+    if (model.revision() == examined) continue;
+    examined = model.revision();
     // Droppable positions: pending tasks except the queue's last task.
-    std::vector<std::size_t> droppable;
-    for (std::size_t pos = machine.first_pending_pos();
-         pos + 1 < machine.queue.size(); ++pos) {
-      droppable.push_back(pos);
-    }
-    if (droppable.empty()) continue;
-    assert(droppable.size() < 8 * sizeof(unsigned));
+    const std::size_t start = machine.first_pending_pos();
+    const std::size_t droppable_count =
+        machine.queue.size() > start + 1 ? machine.queue.size() - start - 1
+                                         : 0;
+    if (droppable_count == 0) continue;
+    assert(droppable_count < 8 * sizeof(unsigned));
+
+    SubsetEnumerator enumerator(machine, *view.tasks, *view.pet,
+                                view.approx_pet, model, droppable_count, ws_,
+                                chain_stack_, results_);
+    enumerator.enumerate();
 
     unsigned best_mask = 0;
     int best_popcount = 0;
-    double best_robustness =
-        robustness_without(machine, *view.tasks, *view.pet, view.approx_pet,
-                           model, droppable, 0u, ws_);
-    const unsigned subsets = 1u << droppable.size();
+    double best_robustness = results_[0];
+    const unsigned subsets = 1u << droppable_count;
     for (unsigned mask = 1; mask < subsets; ++mask) {
-      const double r =
-          robustness_without(machine, *view.tasks, *view.pet, view.approx_pet,
-                             model, droppable, mask, ws_);
+      const double r = results_[mask];
       const int popcount = __builtin_popcount(mask);
       // Strictly better, or equal with fewer drops. A small epsilon keeps
       // floating-point ties from flapping toward needless drops.
@@ -85,14 +143,14 @@ void OptimalDropper::run(SystemView& view, SchedulerOps& ops) {
 
     if (best_mask == 0) continue;
     // Apply drops back-to-front so earlier positions stay valid.
-    for (std::size_t bit = droppable.size(); bit-- > 0;) {
+    for (std::size_t bit = droppable_count; bit-- > 0;) {
       if ((best_mask >> bit) & 1u) {
-        ops.drop_queued_task(machine.id, droppable[bit]);
+        ops.drop_queued_task(machine.id, start + bit);
       }
     }
     // The post-drop queue is the optimum we just computed; no need to
     // re-examine it until something else mutates it.
-    examined = model.structure_version();
+    examined = model.revision();
   }
 }
 

@@ -19,6 +19,13 @@ namespace taskdrop {
 /// Ties are resolved toward dropping fewer tasks, and the empty subset is
 /// always a candidate, so the mechanism never drops without a strict
 /// robustness improvement.
+///
+/// Subsets are enumerated as a branch tree over the lowest dropped
+/// position, so chain prefixes shared by many subsets are convolved once
+/// (and the all-kept prefix is read straight from the model's cached
+/// chain) instead of once per subset; every subset's robustness is still
+/// evaluated with the exact summation order of the direct walk, so the
+/// selected subset is bit-identical.
 class OptimalDropper final : public Dropper {
  public:
   std::string_view name() const override { return "Optimal"; }
@@ -28,8 +35,11 @@ class OptimalDropper final : public Dropper {
   /// Same skip-if-unchanged memoisation as the heuristic dropper: a queue
   /// whose structure is unchanged would re-derive the identical subset.
   std::vector<std::uint64_t> examined_versions_;
-  /// Scratch for the 2^(q-1) candidate chains.
+  /// Scratch for the candidate chains: one PMF per enumeration depth plus
+  /// one robustness slot per subset, reused across machines and events.
   PmfWorkspace ws_;
+  std::vector<Pmf> chain_stack_;
+  std::vector<double> results_;
 };
 
 }  // namespace taskdrop

@@ -15,7 +15,7 @@ void ProactiveHeuristicDropper::run(SystemView& view, SchedulerOps& ops) {
   for (Machine& machine : *view.machines) {
     CompletionModel& model = (*view.models)[static_cast<std::size_t>(machine.id)];
     auto& examined = examined_versions_[static_cast<std::size_t>(machine.id)];
-    if (model.structure_version() == examined) continue;
+    if (model.revision() == examined) continue;
     // Single head-to-tail pass (section IV-E). Confirming a drop shifts the
     // queue left, so the position index is *not* advanced after a drop: the
     // next unexamined task slides into the current position.
@@ -43,8 +43,8 @@ void ProactiveHeuristicDropper::run(SystemView& view, SchedulerOps& ops) {
         ++pos;
       }
     }
-    // Record the post-pass version (drops above already bumped it).
-    examined = model.structure_version();
+    // Record the post-pass revision (drops above already bumped it).
+    examined = model.revision();
   }
 }
 

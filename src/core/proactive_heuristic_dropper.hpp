@@ -41,7 +41,7 @@ class ProactiveHeuristicDropper final : public Dropper {
 
  private:
   Params params_;
-  /// Last examined CompletionModel::structure_version per machine. A queue
+  /// Last examined CompletionModel::revision per machine. A queue
   /// whose structure is unchanged since the previous pass would yield the
   /// identical (no-drop) decision, so it is skipped — this is what keeps
   /// Fig. 4's every-mapping-event engagement cheap in steady state.

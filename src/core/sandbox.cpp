@@ -90,9 +90,8 @@ void SystemSandbox::assign_task(TaskId task_id, MachineId machine_id) {
   Task& task = tasks_[static_cast<std::size_t>(task_id)];
   assert(task.state == TaskState::Unmapped);
   assert(machine.has_free_slot());
-  const auto it = std::find(batch_.begin(), batch_.end(), task_id);
-  assert(it != batch_.end());
-  batch_.erase(it);
+  assert(batch_.contains(task_id));
+  batch_.remove(task_id);
   task.state = TaskState::Queued;
   task.machine = machine_id;
   machine.enqueue(task_id);

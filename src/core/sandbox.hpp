@@ -66,7 +66,7 @@ class SystemSandbox final : public SchedulerOps {
   std::vector<Task> tasks_;
   std::vector<Machine> machines_;
   std::vector<CompletionModel> models_;
-  std::vector<TaskId> batch_;
+  BatchQueue batch_;
   SystemView view_;
   CompletionModel::Options model_options_;
 };

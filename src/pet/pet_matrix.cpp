@@ -12,12 +12,6 @@ PetMatrix::PetMatrix(int task_types, int machine_types)
   assert(task_types > 0 && machine_types > 0);
 }
 
-std::size_t PetMatrix::index(TaskTypeId task, MachineTypeId machine) const {
-  assert(task >= 0 && task < task_types_);
-  assert(machine >= 0 && machine < machine_types_);
-  return static_cast<std::size_t>(task) * machine_types_ + machine;
-}
-
 void PetMatrix::set(TaskTypeId task, MachineTypeId machine, Pmf pmf) {
   assert(!frozen_ && "PET matrix is immutable after freeze()");
   assert(!pmf.empty());
@@ -46,15 +40,6 @@ void PetMatrix::freeze() {
   frozen_ = true;
 }
 
-const Pmf& PetMatrix::pmf(TaskTypeId task, MachineTypeId machine) const {
-  return cells_[index(task, machine)];
-}
-
-double PetMatrix::mean_execution(TaskTypeId task, MachineTypeId machine) const {
-  assert(frozen_);
-  return means_[index(task, machine)];
-}
-
 double PetMatrix::mean_over_machines(TaskTypeId task) const {
   assert(frozen_);
   return task_means_[static_cast<std::size_t>(task)];
@@ -69,11 +54,6 @@ const CdfSampler& PetMatrix::sampler(TaskTypeId task,
                                      MachineTypeId machine) const {
   assert(frozen_);
   return samplers_[index(task, machine)];
-}
-
-const PmfCdf& PetMatrix::cdf(TaskTypeId task, MachineTypeId machine) const {
-  assert(frozen_);
-  return cdfs_[index(task, machine)];
 }
 
 }  // namespace taskdrop

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -32,10 +33,18 @@ class PetMatrix {
   void freeze();
   bool frozen() const { return frozen_; }
 
-  const Pmf& pmf(TaskTypeId task, MachineTypeId machine) const;
+  // The per-cell getters below are inline: the mapping heuristics read
+  // them once per (candidate, machine) probe, millions of times per trial.
+
+  const Pmf& pmf(TaskTypeId task, MachineTypeId machine) const {
+    return cells_[index(task, machine)];
+  }
 
   /// Mean execution time of the cell (ticks).
-  double mean_execution(TaskTypeId task, MachineTypeId machine) const;
+  double mean_execution(TaskTypeId task, MachineTypeId machine) const {
+    assert(frozen_);
+    return means_[index(task, machine)];
+  }
 
   /// Mean execution time of a task type averaged over machine types —
   /// the `avg_i` of the deadline rule delta_i = arr_i + avg_i + gamma*avg_all.
@@ -48,10 +57,19 @@ class PetMatrix {
   const CdfSampler& sampler(TaskTypeId task, MachineTypeId machine) const;
 
   /// Cached cumulative-mass view of the cell's PMF (O(1) P(X < t) queries).
-  const PmfCdf& cdf(TaskTypeId task, MachineTypeId machine) const;
+  const PmfCdf& cdf(TaskTypeId task, MachineTypeId machine) const {
+    assert(frozen_);
+    return cdfs_[index(task, machine)];
+  }
 
  private:
-  std::size_t index(TaskTypeId task, MachineTypeId machine) const;
+  std::size_t index(TaskTypeId task, MachineTypeId machine) const {
+    assert(task >= 0 && task < task_types_);
+    assert(machine >= 0 && machine < machine_types_);
+    return static_cast<std::size_t>(task) *
+               static_cast<std::size_t>(machine_types_) +
+           static_cast<std::size_t>(machine);
+  }
 
   int task_types_;
   int machine_types_;

@@ -28,12 +28,13 @@ void PmfCdf::rebuild(const Pmf& pmf) {
   }
 }
 
-double PmfCdf::mass_before(Tick t) const {
-  if (prefix_.size() <= 1 || t <= offset_) return 0.0;
-  const Tick span = t - offset_;
-  auto bins = static_cast<std::size_t>((span + stride_ - 1) / stride_);
-  bins = std::min(bins, prefix_.size() - 1);
-  return prefix_[bins];
+std::vector<double>& PmfCdf::rebuild_prefix(Tick offset, Tick stride,
+                                            std::size_t bins) {
+  assert(stride >= 1);
+  offset_ = offset;
+  stride_ = stride;
+  prefix_.resize(bins + 1);
+  return prefix_;
 }
 
 Tick CdfSampler::sample(Rng& rng) const {

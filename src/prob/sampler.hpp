@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "prob/pmf.hpp"
@@ -49,10 +51,36 @@ class PmfCdf {
   /// values to Pmf::mass_before on the source PMF.
   void rebuild(const Pmf& pmf);
 
+  /// Resets the view to `bins` lattice bins at (offset, stride) and returns
+  /// the prefix array (size bins + 1) for the caller to fill. Entry i is
+  /// the value mass_before reports for every query time in
+  /// (offset + (i-1)*stride, offset + i*stride]; entry 0 must be 0 and the
+  /// entries must be monotone for the result to behave like a CDF. This is
+  /// how CompletionModel::appended_view caches externally computed
+  /// cumulative evaluations on the combined queue-tail x execution lattice
+  /// without materialising the underlying PMF.
+  std::vector<double>& rebuild_prefix(Tick offset, Tick stride,
+                                      std::size_t bins);
+
   bool valid() const { return !prefix_.empty(); }
 
-  /// P(X < t), identical to Pmf::mass_before on the source PMF.
-  double mass_before(Tick t) const;
+  /// P(X < t), identical to Pmf::mass_before on the source PMF. Inline:
+  /// the appended-distribution cells and the PAM probes issue tens of
+  /// millions of these per trial.
+  double mass_before(Tick t) const {
+    if (prefix_.size() <= 1 || t <= offset_) return 0.0;
+    const Tick span = t - offset_;
+    auto bins = static_cast<std::size_t>((span + stride_ - 1) / stride_);
+    bins = std::min(bins, prefix_.size() - 1);
+    return prefix_[bins];
+  }
+
+  /// Cumulative mass of the first `bins_before` bins — mass_before for a
+  /// caller that already knows the bin index (the appended-cell window
+  /// fold derives it from lattice arithmetic and skips the division).
+  double prefix_at(std::size_t bins_before) const {
+    return prefix_[bins_before];
+  }
 
   double total_mass() const { return prefix_.empty() ? 0.0 : prefix_.back(); }
 

@@ -22,6 +22,11 @@ namespace mapper_detail {
 /// Machines that currently have a free machine-queue slot.
 std::vector<MachineId> machines_with_free_slot(const SystemView& view);
 
+/// Allocation-free variant: refills `out` (mappers keep one scratch vector
+/// across the many rounds of a mapping event).
+void machines_with_free_slot(const SystemView& view,
+                             std::vector<MachineId>& out);
+
 /// Expected completion time of `task` if appended to `machine`'s queue:
 /// mean of the queue-tail completion PMF plus the mean execution time of
 /// the task type on that machine type (means are additive under
@@ -30,11 +35,49 @@ std::vector<MachineId> machines_with_free_slot(const SystemView& view);
 double expected_completion_mean(SystemView& view, MachineId machine,
                                 const Task& task);
 
-/// The first `window` unmapped tasks considered by the heuristics. A cap
-/// bounds per-event mapping cost under extreme oversubscription; with the
-/// paper's parameters the batch rarely exceeds it (stale tasks are
-/// reactively dropped as their deadlines pass).
-std::vector<TaskId> candidate_tasks(const SystemView& view, int window);
+/// Allocation-free range over the first `window` unmapped tasks — the
+/// candidate set every phase-1 scan walks, often several times per mapping
+/// event. The cap bounds per-event mapping cost under extreme
+/// oversubscription; with the paper's parameters the batch rarely exceeds
+/// it (stale tasks are reactively dropped as their deadlines pass).
+class CandidateWindow {
+ public:
+  class iterator {
+   public:
+    iterator(const BatchQueue* batch, TaskId at, int remaining)
+        : batch_(batch), at_(at), remaining_(remaining) {}
+    TaskId operator*() const { return at_; }
+    iterator& operator++() {
+      at_ = batch_->next(at_);
+      --remaining_;
+      return *this;
+    }
+    /// Exhausted the window cap or walked off the batch tail.
+    bool done() const { return remaining_ <= 0 || at_ < 0; }
+    bool operator!=(const iterator& other) const {
+      if (done() || other.done()) return done() != other.done();
+      return at_ != other.at_;
+    }
+
+   private:
+    const BatchQueue* batch_;
+    TaskId at_;
+    int remaining_;
+  };
+
+  CandidateWindow(const BatchQueue& batch, int window)
+      : batch_(&batch), window_(window) {}
+  iterator begin() const { return {batch_, batch_->front(), window_}; }
+  iterator end() const { return {batch_, -1, 0}; }
+
+ private:
+  const BatchQueue* batch_;
+  int window_;
+};
+
+inline CandidateWindow candidate_window(const SystemView& view, int window) {
+  return {*view.batch_queue, window};
+}
 
 /// One provisional task->machine pair from the first phase of a two-phase
 /// heuristic.

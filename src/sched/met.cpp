@@ -6,10 +6,9 @@ void MetMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
   for (;;) {
     const auto free_machines = mapper_detail::machines_with_free_slot(view);
     if (free_machines.empty() || view.batch_queue->empty()) return;
-    const auto candidates = mapper_detail::candidate_tasks(view, window_);
-    if (candidates.empty()) return;
-
-    const TaskId task_id = candidates.front();
+    if (window_ < 1) return;
+    // MET only ever maps the head of the candidate window.
+    const TaskId task_id = view.batch_queue->front();
     const Task& task = view.task(task_id);
     MachineId best_machine = -1;
     double best_exec = 0.0;

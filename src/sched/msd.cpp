@@ -5,7 +5,8 @@ namespace taskdrop {
 void MsdMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
   using mapper_detail::CandidatePair;
   for (;;) {
-    const auto free_machines = mapper_detail::machines_with_free_slot(view);
+    mapper_detail::machines_with_free_slot(view, free_machines_);
+    const auto& free_machines = free_machines_;
     if (free_machines.empty() || view.batch_queue->empty()) return;
     const auto pairs =
         mapper_detail::min_completion_pairs(view, free_machines, window_);

@@ -4,14 +4,15 @@ namespace taskdrop {
 
 void OrderedMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
   for (;;) {
-    const auto free_machines = mapper_detail::machines_with_free_slot(view);
+    mapper_detail::machines_with_free_slot(view, free_machines_);
+    const auto& free_machines = free_machines_;
     if (free_machines.empty() || view.batch_queue->empty()) return;
 
     // Highest-priority candidate (batch order breaks ties, so equal keys
     // resolve to first-come first-serve).
     TaskId best_task = -1;
     double best_key = 0.0;
-    for (TaskId id : mapper_detail::candidate_tasks(view, window_)) {
+    for (TaskId id : mapper_detail::candidate_window(view, window_)) {
       const double key = priority_key(view, view.task(id));
       if (best_task < 0 || key < best_key) {
         best_task = id;

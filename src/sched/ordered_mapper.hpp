@@ -25,6 +25,8 @@ class OrderedMapper : public Mapper {
 
  private:
   int window_;
+  /// Free-machine scratch reused across the rounds of a mapping event.
+  std::vector<MachineId> free_machines_;
 };
 
 }  // namespace taskdrop

@@ -4,7 +4,8 @@ namespace taskdrop {
 
 void PamMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
   for (;;) {
-    const auto free_machines = mapper_detail::machines_with_free_slot(view);
+    mapper_detail::machines_with_free_slot(view, free_machines_);
+    const auto& free_machines = free_machines_;
     if (free_machines.empty() || view.batch_queue->empty()) return;
 
     TaskId best_task = -1;
@@ -12,9 +13,12 @@ void PamMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
     double best_completion = 0.0;
     double best_exec_mean = 0.0;
 
-    for (TaskId id : mapper_detail::candidate_tasks(view, window_)) {
+    for (TaskId id : mapper_detail::candidate_window(view, window_)) {
       const Task& task = view.task(id);
       // Phase 1: machine with the highest chance of success for this task.
+      // chance_if_appended resolves through the revision-keyed appended-
+      // distribution cache, so rescanning the window after each assignment
+      // only re-folds the tail of the machine that actually changed.
       MachineId chance_machine = -1;
       double chance_best = -1.0;
       for (MachineId m : free_machines) {

@@ -32,6 +32,8 @@ class PamMapper final : public Mapper {
  private:
   int window_;
   double defer_threshold_;
+  /// Free-machine scratch reused across the rounds of a mapping event.
+  std::vector<MachineId> free_machines_;
 };
 
 }  // namespace taskdrop

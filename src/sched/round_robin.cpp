@@ -5,9 +5,7 @@ namespace taskdrop {
 void RoundRobinMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
   const std::size_t machine_count = view.machines->size();
   for (;;) {
-    if (view.batch_queue->empty()) return;
-    const auto candidates = mapper_detail::candidate_tasks(view, window_);
-    if (candidates.empty()) return;
+    if (view.batch_queue->empty() || window_ < 1) return;
 
     // Next machine in cyclic order with a free slot.
     MachineId target = -1;
@@ -21,7 +19,7 @@ void RoundRobinMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
       }
     }
     if (target < 0) return;
-    ops.assign_task(candidates.front(), target);
+    ops.assign_task(view.batch_queue->front(), target);
   }
 }
 

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// The unmapped-task batch queue of Fig. 1: an arrival-ordered set of task
+/// ids supporting O(1) removal from any position.
+///
+/// The engine used to keep the batch as a plain vector, so every
+/// assignment paid an O(n) std::find + erase — measurable once an
+/// oversubscribed run accumulates thousands of unmapped tasks. This is an
+/// intrusive doubly-linked list threaded through per-task link slots
+/// (task ids are dense indices), which keeps push_back/remove O(1) while
+/// iterating in exactly the order the vector representation had: arrival
+/// order minus removals. Mappers walk it through SystemView; candidate
+/// windows are just the first `window` live entries.
+class BatchQueue {
+ public:
+  /// Forward iteration over live entries in arrival order.
+  class const_iterator {
+   public:
+    using value_type = TaskId;
+    const_iterator(const BatchQueue* queue, TaskId at)
+        : queue_(queue), at_(at) {}
+    TaskId operator*() const { return at_; }
+    const_iterator& operator++() {
+      at_ = queue_->next(at_);
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return at_ == other.at_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return at_ != other.at_;
+    }
+
+   private:
+    const BatchQueue* queue_;
+    TaskId at_;
+  };
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  /// Oldest live entry; kNoTask when empty.
+  TaskId front() const { return head_; }
+  /// Successor of a live entry; kNoTask at the tail. Safe to call on an
+  /// entry about to be removed (grab the successor first, then remove).
+  TaskId next(TaskId id) const {
+    return next_[static_cast<std::size_t>(id)];
+  }
+  bool contains(TaskId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return i < live_.size() && live_[i] != 0;
+  }
+
+  const_iterator begin() const { return {this, head_}; }
+  const_iterator end() const { return {this, kNoTask}; }
+
+  void clear() {
+    head_ = tail_ = kNoTask;
+    size_ = 0;
+    std::fill(live_.begin(), live_.end(), static_cast<unsigned char>(0));
+  }
+
+  /// Pre-sizes the link slots for task ids [0, task_count) and empties the
+  /// queue. push_back grows the slots on demand, so calling this is an
+  /// optimisation, not a requirement.
+  void reset(std::size_t task_count) {
+    next_.assign(task_count, kNoTask);
+    prev_.assign(task_count, kNoTask);
+    live_.assign(task_count, 0);
+    head_ = tail_ = kNoTask;
+    size_ = 0;
+  }
+
+  void push_back(TaskId id) {
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= next_.size()) {
+      next_.resize(i + 1, kNoTask);
+      prev_.resize(i + 1, kNoTask);
+      live_.resize(i + 1, 0);
+    }
+    assert(live_[i] == 0 && "task already in the batch queue");
+    next_[i] = kNoTask;
+    prev_[i] = tail_;
+    live_[i] = 1;
+    if (tail_ != kNoTask) {
+      next_[static_cast<std::size_t>(tail_)] = id;
+    } else {
+      head_ = id;
+    }
+    tail_ = id;
+    ++size_;
+  }
+
+  /// Unlinks a live entry in O(1); the relative order of the remaining
+  /// entries is untouched.
+  void remove(TaskId id) {
+    const auto i = static_cast<std::size_t>(id);
+    assert(contains(id) && "task not in the batch queue");
+    const TaskId before = prev_[i];
+    const TaskId after = next_[i];
+    if (before != kNoTask) {
+      next_[static_cast<std::size_t>(before)] = after;
+    } else {
+      head_ = after;
+    }
+    if (after != kNoTask) {
+      prev_[static_cast<std::size_t>(after)] = before;
+    } else {
+      tail_ = before;
+    }
+    live_[i] = 0;
+    next_[i] = prev_[i] = kNoTask;
+    --size_;
+  }
+
+ private:
+  static constexpr TaskId kNoTask = -1;
+
+  std::vector<TaskId> next_;
+  std::vector<TaskId> prev_;
+  std::vector<unsigned char> live_;
+  TaskId head_ = kNoTask;
+  TaskId tail_ = kNoTask;
+  std::size_t size_ = 0;
+};
+
+}  // namespace taskdrop

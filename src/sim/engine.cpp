@@ -52,7 +52,8 @@ void Engine::reset(const Trace& trace) {
   live_tasks_ = static_cast<long long>(trace.size());
   exec_rng_.reseed(config_.exec_seed);
   failure_rng_.reseed(config_.failures.seed);
-  batch_.clear();
+  batch_.reset(trace.size());
+  batch_expiry_ = {};
   events_ = EventQueue();
 
   tasks_.clear();
@@ -171,6 +172,8 @@ SimResult Engine::run(const Trace& trace) {
 void Engine::handle_arrival(TaskId task) {
   assert(tasks_[static_cast<std::size_t>(task)].state == TaskState::Unmapped);
   batch_.push_back(task);
+  batch_expiry_.emplace(tasks_[static_cast<std::size_t>(task)].deadline,
+                        task);
 }
 
 void Engine::handle_completion(MachineId machine_id, std::uint32_t token) {
@@ -244,19 +247,19 @@ bool Engine::reactive_drop_pass() {
     }
   }
   // Unmapped tasks whose deadlines passed can never start in time either.
-  std::size_t write = 0;
-  for (std::size_t read = 0; read < batch_.size(); ++read) {
-    Task& task = tasks_[static_cast<std::size_t>(batch_[read])];
-    if (now_ >= task.deadline) {
-      task.state = TaskState::DroppedReactive;
-      task.drop_time = now_;
-      on_terminal();
-      any = true;
-    } else {
-      batch_[write++] = batch_[read];
-    }
+  // The expiry heap hands them over directly; entries whose task was
+  // assigned (and so left the batch) in the meantime are skipped.
+  while (!batch_expiry_.empty() && batch_expiry_.top().first <= now_) {
+    const TaskId id = batch_expiry_.top().second;
+    batch_expiry_.pop();
+    if (!batch_.contains(id)) continue;
+    Task& task = tasks_[static_cast<std::size_t>(id)];
+    task.state = TaskState::DroppedReactive;
+    task.drop_time = now_;
+    on_terminal();
+    batch_.remove(id);
+    any = true;
   }
-  batch_.resize(write);
   return any;
 }
 
@@ -303,7 +306,25 @@ void Engine::start_next(Machine& machine) {
     machine.run_start = now_;
     machine.run_end = now_ + duration;
     ++machine.run_token;
-    models_[static_cast<std::size_t>(machine.id)].invalidate_all();
+    if (config_.condition_running || config_.failures.enabled) {
+      // Conditioning makes the running PMF depend on `now`; failures can
+      // leave a queue idle across a time gap, so the cached chain may be
+      // rooted at an older base than run_start. Both need the rebuild.
+      models_[static_cast<std::size_t>(machine.id)].invalidate_all();
+    } else {
+      // The cached chain stays valid bit for bit: the head starts at
+      // run_start == now, so its running completion delta(run_start) (x)
+      // exec equals the cached pending chain rooted at base = delta(now)
+      // — the deadline truncation is vacuous because a head with now >=
+      // deadline was reactively dropped above, and an up machine cannot
+      // have sat non-running across a time step (start_next runs at the
+      // end of every mapping event). Keeping the chain saves a full
+      // queue-chain rebuild per task start — the engine's main
+      // convolution source in steady state — while the revision bump
+      // still schedules the droppers' re-examination exactly as the
+      // rebuild used to (see CompletionModel::bump_revision).
+      models_[static_cast<std::size_t>(machine.id)].bump_revision();
+    }
     events_.push(machine.run_end, EventKind::TaskCompletion,
                  pack_completion(machine.id, machine.run_token));
   }
@@ -315,9 +336,8 @@ void Engine::assign_task(TaskId task_id, MachineId machine_id) {
   assert(task.state == TaskState::Unmapped);
   assert(machine.has_free_slot());
   assert(machine.up && "down machines accept no assignments");
-  const auto it = std::find(batch_.begin(), batch_.end(), task_id);
-  assert(it != batch_.end() && "task must come from the batch queue");
-  batch_.erase(it);
+  assert(batch_.contains(task_id) && "task must come from the batch queue");
+  batch_.remove(task_id);
   task.state = TaskState::Queued;
   task.machine = machine_id;
   machine.enqueue(task_id);

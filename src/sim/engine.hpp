@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "core/context.hpp"
@@ -9,6 +12,7 @@
 #include "pet/pet_matrix.hpp"
 #include "prob/workspace.hpp"
 #include "sched/mapper.hpp"
+#include "sim/batch_queue.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/sim_result.hpp"
 #include "workload/trace.hpp"
@@ -116,7 +120,17 @@ class Engine final : private SchedulerOps {
   /// loop in cache across machines).
   PmfWorkspace model_ws_;
   std::vector<CompletionModel> models_;
-  std::vector<TaskId> batch_;
+  BatchQueue batch_;
+  /// Unmapped tasks ordered by deadline (lazy deletion: entries whose task
+  /// already left the batch are skipped on pop). The reactive pass used to
+  /// rescan the whole batch every mapping event — O(batch) per event, the
+  /// dominant cost once oversubscription lets thousands of unmapped tasks
+  /// accumulate; with the heap it only ever touches tasks that actually
+  /// expired.
+  std::priority_queue<std::pair<Tick, TaskId>,
+                      std::vector<std::pair<Tick, TaskId>>,
+                      std::greater<std::pair<Tick, TaskId>>>
+      batch_expiry_;
   EventQueue events_;
   Rng exec_rng_;
   Rng failure_rng_;

@@ -1,0 +1,126 @@
+#include "sim/batch_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace taskdrop {
+namespace {
+
+std::vector<TaskId> contents(const BatchQueue& queue) {
+  std::vector<TaskId> out;
+  for (TaskId id : queue) out.push_back(id);
+  return out;
+}
+
+TEST(BatchQueue, StartsEmpty) {
+  BatchQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.front(), -1);
+  EXPECT_EQ(contents(queue), std::vector<TaskId>{});
+}
+
+TEST(BatchQueue, PreservesArrivalOrder) {
+  BatchQueue queue;
+  queue.reset(8);
+  for (TaskId id : {3, 1, 7, 0}) queue.push_back(id);
+  EXPECT_EQ(queue.size(), 4u);
+  EXPECT_EQ(queue.front(), 3);
+  EXPECT_EQ(contents(queue), (std::vector<TaskId>{3, 1, 7, 0}));
+}
+
+TEST(BatchQueue, RemoveKeepsRemainingOrder) {
+  BatchQueue queue;
+  queue.reset(6);
+  for (TaskId id : {0, 1, 2, 3, 4, 5}) queue.push_back(id);
+
+  queue.remove(0);  // head
+  EXPECT_EQ(contents(queue), (std::vector<TaskId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(queue.front(), 1);
+
+  queue.remove(3);  // middle
+  EXPECT_EQ(contents(queue), (std::vector<TaskId>{1, 2, 4, 5}));
+
+  queue.remove(5);  // tail
+  EXPECT_EQ(contents(queue), (std::vector<TaskId>{1, 2, 4}));
+
+  EXPECT_FALSE(queue.contains(3));
+  EXPECT_TRUE(queue.contains(4));
+}
+
+TEST(BatchQueue, ReinsertAfterRemoveGoesToTheBack) {
+  BatchQueue queue;
+  queue.reset(4);
+  for (TaskId id : {0, 1, 2}) queue.push_back(id);
+  queue.remove(1);
+  queue.push_back(1);
+  EXPECT_EQ(contents(queue), (std::vector<TaskId>{0, 2, 1}));
+}
+
+TEST(BatchQueue, DrainToEmptyAndRefill) {
+  BatchQueue queue;
+  queue.reset(3);
+  for (TaskId id : {0, 1, 2}) queue.push_back(id);
+  for (TaskId id : {1, 0, 2}) queue.remove(id);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.front(), -1);
+  queue.push_back(2);
+  EXPECT_EQ(contents(queue), std::vector<TaskId>{2});
+  EXPECT_EQ(queue.front(), 2);
+}
+
+TEST(BatchQueue, GrowsLinkSlotsOnDemand) {
+  BatchQueue queue;  // no reset: push_back must size the slots itself
+  queue.push_back(10);
+  queue.push_back(2);
+  EXPECT_EQ(contents(queue), (std::vector<TaskId>{10, 2}));
+  EXPECT_FALSE(queue.contains(7));
+  queue.remove(10);
+  EXPECT_EQ(contents(queue), std::vector<TaskId>{2});
+}
+
+TEST(BatchQueue, NextWalksLiveEntries) {
+  BatchQueue queue;
+  queue.reset(4);
+  for (TaskId id : {0, 1, 2, 3}) queue.push_back(id);
+  queue.remove(1);
+  EXPECT_EQ(queue.next(0), 2);
+  EXPECT_EQ(queue.next(2), 3);
+  EXPECT_EQ(queue.next(3), -1);
+}
+
+/// Differential check against the vector representation the engine used
+/// before: random interleavings of pushes and position-preserving removals
+/// must iterate identically.
+TEST(BatchQueue, MatchesVectorSemanticsUnderRandomMutation) {
+  Rng rng(2026);
+  for (int round = 0; round < 50; ++round) {
+    BatchQueue queue;
+    std::vector<TaskId> reference;
+    TaskId next_id = 0;
+    for (int step = 0; step < 200; ++step) {
+      const bool push = reference.empty() || rng.uniform01() < 0.6;
+      if (push) {
+        queue.push_back(next_id);
+        reference.push_back(next_id);
+        ++next_id;
+      } else {
+        const auto victim = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<Tick>(reference.size()) - 1));
+        queue.remove(reference[victim]);
+        reference.erase(reference.begin() +
+                        static_cast<std::ptrdiff_t>(victim));
+      }
+      ASSERT_EQ(queue.size(), reference.size());
+      ASSERT_EQ(contents(queue), reference);
+      ASSERT_EQ(queue.front(), reference.empty() ? -1 : reference.front());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -129,17 +129,17 @@ TEST(CompletionModel, InvalidationAfterDropRecomputes) {
   EXPECT_EQ(model.completion(0), pmf_of({{1, 0.6}, {2, 0.4}}));
 }
 
-TEST(CompletionModel, StructureVersionBumpsOnMutation) {
+TEST(CompletionModel, RevisionBumpsOnMutation) {
   const PetMatrix pet = two_type_pet();
   SystemSandbox sandbox(pet, {0}, 6, /*now=*/0);
   CompletionModel& model = sandbox.model(0);
-  const auto v0 = model.structure_version();
+  const auto v0 = model.revision();
   sandbox.enqueue(0, 0, 100);
-  const auto v1 = model.structure_version();
+  const auto v1 = model.revision();
   EXPECT_NE(v0, v1);
   sandbox.enqueue(0, 1, 100);
   sandbox.drop_queued_task(0, 1);
-  EXPECT_NE(model.structure_version(), v1);
+  EXPECT_NE(model.revision(), v1);
 }
 
 TEST(CompletionModel, ChanceIfAppendedMatchesMaterialisedAppend) {

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/proactive_heuristic_dropper.hpp"
 #include "core/sandbox.hpp"
+#include "prob/convolution.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
 
@@ -124,6 +128,106 @@ TEST(OptimalDropper, AtLeastAsGoodAsHeuristicOnRandomQueues) {
     EXPECT_GE(for_optimal.model(0).instantaneous_robustness() + 1e-9,
               for_heuristic.model(0).instantaneous_robustness())
         << "seed " << seed;
+  }
+}
+
+/// The pre-PR direct evaluation: rebuild the surviving chain from scratch
+/// for every subset, scanning masks in ascending order with the same
+/// epsilon tie-break. The prefix-sharing enumeration must select the
+/// identical subset on every queue.
+std::vector<TaskId> reference_best_drops(SystemSandbox& sandbox) {
+  const Machine& machine = sandbox.machine(0);
+  CompletionModel& model = sandbox.model(0);
+  const std::vector<Task>& tasks = *sandbox.view().tasks;
+  const PetMatrix& pet = *sandbox.view().pet;
+
+  std::vector<std::size_t> droppable;
+  for (std::size_t pos = machine.first_pending_pos();
+       pos + 1 < machine.queue.size(); ++pos) {
+    droppable.push_back(pos);
+  }
+  if (droppable.empty()) return {};
+
+  const auto robustness_without = [&](unsigned mask) {
+    double sum = 0.0;
+    Pmf chain;
+    std::size_t start = machine.first_pending_pos();
+    if (machine.running) {
+      sum += model.chance(0);
+      chain = model.completion(0);
+    } else {
+      chain = model.predecessor(start);
+    }
+    std::size_t bit = 0;
+    for (std::size_t pos = start; pos < machine.queue.size(); ++pos) {
+      const bool dropped = bit < droppable.size() && droppable[bit] == pos &&
+                           ((mask >> bit) & 1u);
+      if (bit < droppable.size() && droppable[bit] == pos) ++bit;
+      if (dropped) continue;
+      const Task& task = tasks[static_cast<std::size_t>(machine.queue[pos])];
+      chain = deadline_convolve(
+          chain, execution_pmf(task, machine.type, pet, nullptr),
+          task.deadline);
+      sum += chain.mass_before(task.deadline);
+    }
+    return sum;
+  };
+
+  unsigned best_mask = 0;
+  int best_popcount = 0;
+  double best_robustness = robustness_without(0u);
+  const unsigned subsets = 1u << droppable.size();
+  for (unsigned mask = 1; mask < subsets; ++mask) {
+    const double r = robustness_without(mask);
+    const int popcount = __builtin_popcount(mask);
+    if (r > best_robustness + 1e-12 ||
+        (r > best_robustness - 1e-12 && popcount < best_popcount)) {
+      best_robustness = r;
+      best_mask = mask;
+      best_popcount = popcount;
+    }
+  }
+  std::vector<TaskId> drops;
+  for (std::size_t bit = 0; bit < droppable.size(); ++bit) {
+    if ((best_mask >> bit) & 1u) {
+      drops.push_back(machine.queue[droppable[bit]]);
+    }
+  }
+  return drops;
+}
+
+TEST(OptimalDropper, MatchesDirectSubsetEvaluationOnRandomQueues) {
+  const PetMatrix pet = dropper_pet();
+  for (std::uint64_t seed = 500; seed < 560; ++seed) {
+    Rng rng(seed);
+    const int depth = static_cast<int>(rng.uniform_int(2, 6));
+    std::vector<std::pair<TaskTypeId, Tick>> specs;
+    for (int i = 0; i < depth; ++i) {
+      specs.emplace_back(static_cast<TaskTypeId>(rng.uniform_int(0, 3)),
+                         rng.uniform_int(2, 40));
+    }
+    const bool running = rng.uniform01() < 0.5;
+
+    SystemSandbox expected(pet, {0}, depth + 1);
+    SystemSandbox actual(pet, {0}, depth + 1);
+    for (const auto& [type, deadline] : specs) {
+      expected.enqueue(0, type, deadline);
+      actual.enqueue(0, type, deadline);
+    }
+    if (running) {
+      expected.set_running(0, 0);
+      actual.set_running(0, 0);
+    }
+
+    const std::vector<TaskId> want = reference_best_drops(expected);
+    OptimalDropper dropper;
+    dropper.run(actual.view(), actual);
+    // The dropper applies back-to-front; compare as sets of task ids.
+    std::vector<TaskId> got = actual.dropped;
+    std::sort(got.begin(), got.end());
+    std::vector<TaskId> want_sorted = want;
+    std::sort(want_sorted.begin(), want_sorted.end());
+    EXPECT_EQ(got, want_sorted) << "seed " << seed;
   }
 }
 
