@@ -12,6 +12,12 @@
 # Also available as `cmake --build build --target bench_micro` /
 # `... --target bench_macro`, which write BENCH_micro.json /
 # BENCH_macro.json in the repository root.
+#
+# The macro baseline doubles as the per-shard cost model for sharded
+# sweeps: one (cell, trial) unit of `taskdrop_cli sweep` costs about one
+# macro_trial run of its (scenario, mapper, level), so size the shard
+# count in tools/sweep_shards.sh from BENCH_macro.json (see the README's
+# "Sharded sweeps" section).
 set -euo pipefail
 
 bin_dir=${1:?usage: run_all.sh <bin-dir> [out.json] [schema] [bench ...]}

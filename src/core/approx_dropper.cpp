@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "prob/convolution.hpp"
 
@@ -45,6 +47,17 @@ double weighted_window_utility(const Pmf& pred, const Machine& machine,
 }
 
 }  // namespace
+
+ApproxDropper::ApproxDropper(Params params) : params_(params) {
+  if (params_.effective_depth < 1) {
+    throw std::invalid_argument("approx dropper: eta must be >= 1, got " +
+                                std::to_string(params_.effective_depth));
+  }
+  if (params_.beta < 1.0) {
+    throw std::invalid_argument("approx dropper: beta must be >= 1, got " +
+                                std::to_string(params_.beta));
+  }
+}
 
 void ApproxDropper::run(SystemView& view, SchedulerOps& ops) {
   assert(params_.effective_depth >= 1);

@@ -39,7 +39,9 @@ class ApproxDropper final : public Dropper {
   };
 
   ApproxDropper() : params_() {}
-  explicit ApproxDropper(Params params) : params_(params) {}
+  /// Throws std::invalid_argument for eta < 1 or beta < 1 (same contract
+  /// as ProactiveHeuristicDropper).
+  explicit ApproxDropper(Params params);
 
   std::string_view name() const override { return "Approx"; }
   const Params& params() const { return params_; }

@@ -2,8 +2,23 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace taskdrop {
+
+ProactiveHeuristicDropper::ProactiveHeuristicDropper(Params params)
+    : params_(params) {
+  if (params_.effective_depth < 1) {
+    throw std::invalid_argument(
+        "heuristic dropper: eta must be >= 1, got " +
+        std::to_string(params_.effective_depth));
+  }
+  if (params_.beta < 1.0) {
+    throw std::invalid_argument("heuristic dropper: beta must be >= 1, got " +
+                                std::to_string(params_.beta));
+  }
+}
 
 void ProactiveHeuristicDropper::run(SystemView& view, SchedulerOps& ops) {
   assert(params_.effective_depth >= 1);

@@ -32,7 +32,10 @@ class ProactiveHeuristicDropper final : public Dropper {
   };
 
   ProactiveHeuristicDropper() : params_() {}
-  explicit ProactiveHeuristicDropper(Params params) : params_(params) {}
+  /// Throws std::invalid_argument for eta < 1 or beta < 1 (a real Release
+  /// error path: DropperConfig can carry hand-built parameters that never
+  /// went through from_spec's validation).
+  explicit ProactiveHeuristicDropper(Params params);
 
   std::string_view name() const override { return "Heuristic"; }
   const Params& params() const { return params_; }

@@ -3,22 +3,19 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
-#include <sstream>
 #include <stdexcept>
 
 #include "cost/cost_model.hpp"
+#include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/scenario_registry.hpp"
 
 namespace taskdrop {
 namespace {
 
-/// Shortest round-trippable rendering ("4", "2.5", "0.55").
-std::string format_number(double value) {
-  std::ostringstream out;
-  out << value;
-  return out.str();
-}
+/// Shortest round-trippable rendering ("4", "2.5", "0.55") — the util
+/// formatter, so from_map(to_map()) is a fixpoint for any finite double.
+std::string format_number(double value) { return format_double(value); }
 
 // Whole-string parses shared with the dropper registry (util/spec_parser),
 // prefixed with the sweep key for the error message.
@@ -78,6 +75,13 @@ SweepLevel parse_level(const std::string& text) {
     level.n_tasks = parse_int("levels", parts[0]);
     level.oversubscription = parse_double("levels", parts[1]);
     level.label = parts[0] + "@" + parts[1];
+  } else if (parts.size() > 3) {
+    // A label containing ':' is indistinguishable from extra fields, so it
+    // is rejected outright instead of guessing which colon splits the
+    // label (validate() enforces the same rule on hand-built specs).
+    throw std::invalid_argument(
+        "sweep key levels: expected [label:]tasks:oversub, got '" + text +
+        "' (labels must not contain ':')");
   } else {
     throw std::invalid_argument(
         "sweep key levels: expected [label:]tasks:oversub, got '" + text +
@@ -255,6 +259,10 @@ void SweepSpec::validate() const {
             "level " + level.label + ": n_tasks must be >= 1");
     require(level.oversubscription > 0.0,
             "level " + level.label + ": oversubscription must be > 0");
+    // ':' is the levels-entry field separator, so a label containing it
+    // would render a to_map() entry parse_level cannot read back.
+    require(level.label.find(':') == std::string::npos,
+            "level label '" + level.label + "' must not contain ':'");
   }
   for (const int capacity : queue_capacities) {
     require(capacity >= 1, "queue capacity must be >= 1, got " +
@@ -398,6 +406,15 @@ SpecMap SweepSpec::to_map() const {
   }
   if (pattern == ArrivalPattern::Bursty) map["pattern"] = {"bursty"};
   if (approx.enabled) map["approx"] = {"1"};
+  // Non-default approx tuning must render too, or a sharded spec would
+  // re-expand at merge time with different engine parameters.
+  const ApproxModel approx_defaults;
+  if (approx.time_factor != approx_defaults.time_factor) {
+    map["approx_time_factor"] = {format_number(approx.time_factor)};
+  }
+  if (approx.utility_weight != approx_defaults.utility_weight) {
+    map["approx_utility_weight"] = {format_number(approx.utility_weight)};
+  }
   map["trials"] = {std::to_string(trials)};
   map["seed"] = {std::to_string(seed)};
   map["exclude_head"] = {std::to_string(exclude_head)};
@@ -473,8 +490,6 @@ std::vector<SweepCell> expand(const SweepSpec& spec) {
   return cells;
 }
 
-namespace {
-
 std::vector<std::string> active_axes_of(const SweepSpec& spec) {
   std::vector<std::string> axes;
   if (spec.scenarios.size() > 1) axes.push_back("scenario");
@@ -494,39 +509,137 @@ std::vector<std::string> active_axes_of(const SweepSpec& spec) {
   return axes;
 }
 
+namespace {
+
+bool same_point(const SweepPoint& a, const SweepPoint& b) {
+  return a.scenario == b.scenario && a.level == b.level &&
+         a.mapper == b.mapper && a.dropper == b.dropper &&
+         a.gamma == b.gamma && a.capacity == b.capacity &&
+         a.engagement == b.engagement && a.conditioning == b.conditioning &&
+         a.failures == b.failures;
+}
+
+bool same_config(const ExperimentConfig& a, const ExperimentConfig& b) {
+  return a.scenario == b.scenario && a.mapper == b.mapper &&
+         a.dropper.kind == b.dropper.kind &&
+         a.dropper.effective_depth == b.dropper.effective_depth &&
+         a.dropper.beta == b.dropper.beta &&
+         a.dropper.base_threshold == b.dropper.base_threshold &&
+         a.dropper.adaptive_threshold == b.dropper.adaptive_threshold &&
+         a.engagement == b.engagement &&
+         a.condition_running == b.condition_running &&
+         a.workload.n_tasks == b.workload.n_tasks &&
+         a.workload.oversubscription == b.workload.oversubscription &&
+         a.workload.gamma == b.workload.gamma &&
+         a.workload.pattern == b.workload.pattern &&
+         a.queue_capacity == b.queue_capacity &&
+         a.failures.enabled == b.failures.enabled &&
+         a.failures.mean_time_between_failures ==
+             b.failures.mean_time_between_failures &&
+         a.failures.mean_time_to_repair == b.failures.mean_time_to_repair &&
+         a.approx.enabled == b.approx.enabled &&
+         a.approx.time_factor == b.approx.time_factor &&
+         a.approx.utility_weight == b.approx.utility_weight &&
+         a.trials == b.trials && a.seed == b.seed &&
+         a.exclude_head == b.exclude_head &&
+         a.exclude_tail == b.exclude_tail &&
+         a.candidate_window == b.candidate_window;
+}
+
 }  // namespace
+
+void ShardSpec::validate() const {
+  if (count < 1) {
+    throw std::invalid_argument("shard count must be >= 1, got " +
+                                std::to_string(count));
+  }
+  if (index < 0 || index >= count) {
+    throw std::invalid_argument("shard index must be in [0, " +
+                                std::to_string(count) + "), got " +
+                                std::to_string(index));
+  }
+}
 
 SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   spec.validate();
-  const std::vector<SweepCell> cells = expand(spec);
+  const ShardSpec shard = options.shard.value_or(ShardSpec{});
+  shard.validate();
 
   SweepReport report;
   report.name = spec.name;
   report.active_axes = active_axes_of(spec);
+  const std::vector<SweepCell> cells = expand(spec);
+  if (options.shard) {
+    // A shard report is only mergeable if re-expanding its spec header
+    // reproduces this grid exactly — cell for cell, since the merge
+    // attributes trial payloads by cell index. A map-level fixpoint check
+    // is not enough: a hand-built dropper variant list can render to a
+    // grid of the same keys and size whose re-expansion *orders* cells
+    // differently. Demand identity up front instead of corrupting the
+    // merge silently.
+    if (!spec.series.empty()) {
+      throw std::invalid_argument(
+          "sharded sweeps need a grid spec: series lists have no to_map "
+          "rendering for the shard header");
+    }
+    report.spec_map = spec.to_map();
+    const SweepSpec reparsed = SweepSpec::from_map(report.spec_map);
+    const std::vector<SweepCell> recells =
+        reparsed.to_map() == report.spec_map ? expand(reparsed)
+                                             : std::vector<SweepCell>{};
+    bool canonical = recells.size() == cells.size();
+    for (std::size_t c = 0; canonical && c < cells.size(); ++c) {
+      canonical = same_point(cells[c].point, recells[c].point) &&
+                  same_config(cells[c].config, recells[c].config);
+    }
+    if (!canonical) {
+      throw std::invalid_argument(
+          "sharded sweeps need a canonical spec: from_map(to_map()) does "
+          "not reproduce this grid cell for cell (hand-built dropper "
+          "variant lists that do not form an ordered grid re-expand "
+          "differently)");
+    }
+    report.shard = shard;
+  }
+
   report.cells.resize(cells.size());
 
   ScenarioCache local_cache;
   ScenarioCache& cache = options.cache != nullptr ? *options.cache : local_cache;
 
   // Per-cell execution state. Scenarios are prefetched sequentially so the
-  // grid shares each (kind, seed) build instead of racing on it, and
-  // make_dropper is probed up front (a throw inside a pool worker would
-  // std::terminate).
+  // grid shares each (kind, seed) build instead of racing on it. `owned`
+  // lists this shard's trial indices for the cell (all of them when
+  // unsharded); trials are keyed by that original index so shard results
+  // reunite into the unsharded trial order.
   struct CellState {
     std::shared_ptr<const Scenario> scenario;
     std::unique_ptr<CostModel> cost_model;
+    std::vector<int> owned;
     std::vector<TrialMetrics> trials;
     std::atomic<int> remaining{0};
   };
   std::vector<CellState> states(cells.size());
+  std::size_t touched_cells = 0;
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    make_dropper(cells[c].config.dropper);
+    for (int t = 0; t < spec.trials; ++t) {
+      if (shard_owns(shard, sweep_unit(c, t, spec.trials))) {
+        states[c].owned.push_back(t);
+      }
+    }
+    if (states[c].owned.empty()) {
+      report.cells[c].point = cells[c].point;
+      report.cells[c].config = cells[c].config;
+      continue;
+    }
+    ++touched_cells;
     states[c].scenario = cache.get(cells[c].config.scenario,
                                    cells[c].config.seed);
     states[c].cost_model = std::make_unique<CostModel>(
         states[c].scenario->profile.cost_per_hour);
-    states[c].trials.resize(static_cast<std::size_t>(spec.trials));
-    states[c].remaining.store(spec.trials, std::memory_order_relaxed);
+    states[c].trials.resize(states[c].owned.size());
+    states[c].remaining.store(static_cast<int>(states[c].owned.size()),
+                              std::memory_order_relaxed);
     report.cells[c].point = cells[c].point;
     report.cells[c].config = cells[c].config;
   }
@@ -534,27 +647,38 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   std::mutex progress_mutex;
   std::size_t done = 0;
 
+  // First-exception capture: a throwing trial (bad dropper parameters, a
+  // model-layer invalid_argument) must not std::terminate the pool. Later
+  // units are skipped once a unit has failed; the report is abandoned and
+  // the exception rethrown after the pool drains.
+  JobErrorCollector errors;
+
   ThreadPool pool(options.threads);
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    for (int t = 0; t < spec.trials; ++t) {
-      pool.submit([&, c, t] {
-        CellState& state = states[c];
-        state.trials[static_cast<std::size_t>(t)] =
-            run_trial(report.cells[c].config, *state.scenario,
-                      *state.cost_model, static_cast<std::size_t>(t));
-        if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          // Last trial of this cell: reduce and stream the finished cell.
-          report.cells[c].result = summarize_trials(std::move(state.trials));
-          std::lock_guard lock(progress_mutex);
-          ++done;
-          if (options.on_cell) {
-            options.on_cell(report.cells[c], done, report.cells.size());
+    for (std::size_t o = 0; o < states[c].owned.size(); ++o) {
+      pool.submit([&, c, o] {
+        errors.run([&] {
+          CellState& state = states[c];
+          const int t = state.owned[o];
+          state.trials[o] =
+              run_trial(report.cells[c].config, *state.scenario,
+                        *state.cost_model, static_cast<std::size_t>(t));
+          if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last owned trial of this cell: reduce and stream it.
+            report.cells[c].result = summarize_trials(std::move(state.trials));
+            report.cells[c].trial_indices = state.owned;
+            std::lock_guard lock(progress_mutex);
+            ++done;
+            if (options.on_cell) {
+              options.on_cell(report.cells[c], done, touched_cells);
+            }
           }
-        }
+        });
       });
     }
   }
   pool.wait_idle();
+  errors.rethrow_if_failed();
   return report;
 }
 

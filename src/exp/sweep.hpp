@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -136,15 +137,53 @@ struct SweepCellResult {
   SweepPoint point;
   ExperimentConfig config;
   ExperimentResult result;
+  /// Trial indices present in result.trials, ascending. A complete cell
+  /// holds 0..config.trials-1; a sharded run leaves each cell with only
+  /// the trials its shard owns (possibly none).
+  std::vector<int> trial_indices;
 };
 
+/// One shard of a sweep: this process runs every expanded (cell, trial)
+/// unit whose flat cell-major index is congruent to `index` mod `count`.
+/// The interleaved round-robin partition spreads expensive cells (deep
+/// windows, large levels) across shards, and is deterministic in spec
+/// expansion order, so N shards always reunite into the exact unsharded
+/// unit set. {0, 1} is the whole sweep.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  /// Rejects count < 1 and index outside [0, count).
+  void validate() const;
+};
+
+/// Flat unit index of (cell, trial) under `trials` trials per cell — the
+/// quantity the round-robin partition is taken over.
+inline std::size_t sweep_unit(std::size_t cell, int trial, int trials) {
+  return cell * static_cast<std::size_t>(trials) +
+         static_cast<std::size_t>(trial);
+}
+
+/// Whether `shard` owns the given unit.
+inline bool shard_owns(const ShardSpec& shard, std::size_t unit) {
+  return unit % static_cast<std::size_t>(shard.count) ==
+         static_cast<std::size_t>(shard.index);
+}
+
 /// Consolidated output of one sweep; metrics/report.hpp renders it as an
-/// aligned table, CSV or JSON.
+/// aligned table, CSV or JSON (and merges shard reports back together).
 struct SweepReport {
   std::string name;
   /// Axes whose spec lists had more than one entry, in nesting order —
   /// the identity columns of the long-format report.
   std::vector<std::string> active_axes;
+  /// Engaged when run_sweep executed an explicit shard (even 0/1): the
+  /// JSON form then carries the shard header and per-trial payloads that
+  /// merge_sweep_reports consumes. Disengaged for plain and merged runs.
+  std::optional<ShardSpec> shard;
+  /// Canonical SweepSpec::to_map rendering, filled for sharded runs — the
+  /// header merge_sweep_reports validates shard compatibility against.
+  SpecMap spec_map;
   /// Expansion order (stable regardless of scheduling).
   std::vector<SweepCellResult> cells;
 };
@@ -154,8 +193,14 @@ struct SweepOptions {
   std::size_t threads = 0;
   /// Optional externally shared cache (e.g. across several specs).
   ScenarioCache* cache = nullptr;
+  /// When engaged, run only this shard's (cell, trial) units. Requires a
+  /// grid spec whose to_map rendering is a from_map fixpoint (no hand-built
+  /// series lists), so the merge can re-expand identical cells.
+  std::optional<ShardSpec> shard;
   /// Streaming progress: invoked once per finished cell (serialised, from
-  /// worker threads) with the completed cell and done/total counts.
+  /// worker threads) with the completed cell and done/total counts. Under
+  /// sharding a cell counts as finished when its owned trials are done;
+  /// cells the shard does not touch are excluded from the totals.
   std::function<void(const SweepCellResult&, std::size_t done,
                      std::size_t total)>
       on_cell;
@@ -164,8 +209,17 @@ struct SweepOptions {
 /// Expands the spec and fans every (cell, trial) across one thread pool.
 /// Scenarios are shared through the cache — every cell with the same
 /// (scenario, seed) reads one instance — and each cell's result is
-/// bitwise-identical to run_experiment on its config.
+/// bitwise-identical to run_experiment on its config. Trial RNG streams
+/// are seeded per (cell, trial), so a sharded run computes exactly the
+/// trials the unsharded run would, and merging shard reports reproduces
+/// the unsharded report bit for bit. A trial body that throws no longer
+/// terminates the process: the first exception is captured, remaining
+/// units are skipped, and it is rethrown here once the pool drains.
 SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
+
+/// The active-axes column set run_sweep derives from a spec (exposed for
+/// merge_sweep_reports, which rebuilds reports from shard headers).
+std::vector<std::string> active_axes_of(const SweepSpec& spec);
 
 /// First cell matching the predicate, or nullptr.
 const SweepCellResult* find_cell(

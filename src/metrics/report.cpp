@@ -1,6 +1,12 @@
 #include "metrics/report.hpp"
 
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
 
 namespace taskdrop {
 
@@ -41,6 +47,8 @@ void write_sweep_csv(std::ostream& os, const SweepReport& report) {
 
 namespace {
 
+const char* const kSchema = "taskdrop-sweep/v2";
+
 std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -56,48 +64,581 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+/// JSON has no literal for inf/nan; summaries degrade to null (consumers
+/// treat the statistic as undefined).
+std::string json_number(double value) {
+  return std::isfinite(value) ? format_double(value) : std::string("null");
+}
+
+/// Trial payloads must round-trip bitwise through merge, so non-finite
+/// values are preserved as the strings "inf"/"-inf"/"nan" instead.
+std::string json_trial_number(double value) {
+  return std::isfinite(value) ? format_double(value)
+                              : '"' + format_double(value) + '"';
+}
+
+/// The per-trial payload schema, shared by the writer and the shard
+/// reader so the two cannot drift apart.
+struct TrialField {
+  const char* key;
+  double TrialMetrics::* real;
+  long long TrialMetrics::* integer;
+};
+
+constexpr TrialField kTrialFields[] = {
+    {"robustness_pct", &TrialMetrics::robustness_pct, nullptr},
+    {"utility_pct", &TrialMetrics::utility_pct, nullptr},
+    {"total_cost", &TrialMetrics::total_cost, nullptr},
+    {"normalized_cost", &TrialMetrics::normalized_cost, nullptr},
+    {"reactive_drop_share_pct", &TrialMetrics::reactive_drop_share_pct,
+     nullptr},
+    {"completed_on_time", nullptr, &TrialMetrics::completed_on_time},
+    {"completed_late", nullptr, &TrialMetrics::completed_late},
+    {"dropped_reactive_queued", nullptr,
+     &TrialMetrics::dropped_reactive_queued},
+    {"dropped_proactive", nullptr, &TrialMetrics::dropped_proactive},
+    {"expired_unmapped", nullptr, &TrialMetrics::expired_unmapped},
+    {"lost_to_failure", nullptr, &TrialMetrics::lost_to_failure},
+    {"approx_on_time", nullptr, &TrialMetrics::approx_on_time},
+    {"mapping_events", nullptr, &TrialMetrics::mapping_events},
+    {"dropper_invocations", nullptr, &TrialMetrics::dropper_invocations},
+};
+
 void write_summary_json(std::ostream& os, const char* key,
                         const Summary& summary) {
-  os << '"' << key << "\": {\"mean\": " << summary.mean
-     << ", \"ci95\": " << summary.ci95 << '}';
+  os << '"' << key << "\": {\"mean\": " << json_number(summary.mean)
+     << ", \"ci95\": " << json_number(summary.ci95) << '}';
+}
+
+void write_point_json(std::ostream& os, const SweepPoint& point) {
+  static const char* const kAxes[] = {
+      "scenario",   "level",      "mapper",       "dropper", "gamma",
+      "capacity",   "engagement", "conditioning", "failures"};
+  os << "\"point\": {";
+  bool first = true;
+  for (const char* axis : kAxes) {
+    os << (first ? "" : ", ") << '"' << axis << "\": \""
+       << json_escape(axis_label(point, axis)) << '"';
+    first = false;
+  }
+  os << '}';
+}
+
+void write_config_json(std::ostream& os, const ExperimentConfig& config) {
+  os << "\"config\": {\"mapper\": \"" << json_escape(config.mapper)
+     << "\", \"dropper\": \"" << config.dropper.name()
+     << "\", \"tasks\": " << config.workload.n_tasks
+     << ", \"oversub\": " << json_number(config.workload.oversubscription)
+     << ", \"gamma\": " << json_number(config.workload.gamma)
+     << ", \"capacity\": " << config.queue_capacity
+     << ", \"trials\": " << config.trials << ", \"seed\": " << config.seed
+     << '}';
+}
+
+void write_cell_summaries_json(std::ostream& os, const ExperimentResult& r) {
+  os << "\"metrics\": {";
+  write_summary_json(os, "robustness_pct", r.robustness);
+  os << ", ";
+  write_summary_json(os, "utility_pct", r.utility);
+  os << ", ";
+  write_summary_json(os, "normalized_cost", r.normalized_cost);
+  os << ", ";
+  write_summary_json(os, "reactive_share_pct", r.reactive_share);
+  os << '}';
+}
+
+void write_cell_trials_json(std::ostream& os, const SweepCellResult& cell) {
+  os << "\"trials\": [";
+  for (std::size_t j = 0; j < cell.trial_indices.size(); ++j) {
+    const TrialMetrics& metrics = cell.result.trials[j];
+    os << (j == 0 ? "\n" : ",\n") << "       {\"trial\": "
+       << cell.trial_indices[j] << ", \"metrics\": {";
+    bool first = true;
+    for (const TrialField& field : kTrialFields) {
+      os << (first ? "" : ", ") << '"' << field.key << "\": ";
+      if (field.real != nullptr) {
+        os << json_trial_number(metrics.*field.real);
+      } else {
+        os << metrics.*field.integer;
+      }
+      first = false;
+    }
+    os << "}}";
+  }
+  os << "\n     ]";
 }
 
 }  // namespace
 
 void write_sweep_json(std::ostream& os, const SweepReport& report) {
-  os << "{\n  \"schema\": \"taskdrop-sweep/v1\",\n  \"name\": \""
-     << json_escape(report.name) << "\",\n  \"cells\": [";
-  for (std::size_t i = 0; i < report.cells.size(); ++i) {
-    const SweepCellResult& cell = report.cells[i];
-    const ExperimentConfig& config = cell.config;
-    os << (i == 0 ? "\n" : ",\n") << "    {\"point\": {";
-    static const char* const kAxes[] = {
-        "scenario",   "level",      "mapper",       "dropper", "gamma",
-        "capacity",   "engagement", "conditioning", "failures"};
+  os << "{\n  \"schema\": \"" << kSchema << "\",\n  \"name\": \""
+     << json_escape(report.name) << '"';
+  if (report.shard) {
+    os << ",\n  \"shard\": {\"index\": " << report.shard->index
+       << ", \"count\": " << report.shard->count << "}";
+    os << ",\n  \"spec\": {";
     bool first = true;
-    for (const char* axis : kAxes) {
-      os << (first ? "" : ", ") << '"' << axis << "\": \""
-         << json_escape(axis_label(cell.point, axis)) << '"';
+    for (const auto& [key, values] : report.spec_map) {
+      os << (first ? "\n" : ",\n") << "    \"" << json_escape(key)
+         << "\": [";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << '"' << json_escape(values[i]) << '"';
+      }
+      os << ']';
       first = false;
     }
-    os << "},\n     \"config\": {\"mapper\": \"" << json_escape(config.mapper)
-       << "\", \"dropper\": \"" << config.dropper.name()
-       << "\", \"tasks\": " << config.workload.n_tasks
-       << ", \"oversub\": " << config.workload.oversubscription
-       << ", \"gamma\": " << config.workload.gamma
-       << ", \"capacity\": " << config.queue_capacity
-       << ", \"trials\": " << config.trials << ", \"seed\": " << config.seed
-       << "},\n     \"metrics\": {";
-    write_summary_json(os, "robustness_pct", cell.result.robustness);
-    os << ", ";
-    write_summary_json(os, "utility_pct", cell.result.utility);
-    os << ", ";
-    write_summary_json(os, "normalized_cost", cell.result.normalized_cost);
-    os << ", ";
-    write_summary_json(os, "reactive_share_pct", cell.result.reactive_share);
-    os << "}}";
+    os << "\n  }";
+  }
+  os << ",\n  \"cells\": [";
+  bool first_cell = true;
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const SweepCellResult& cell = report.cells[i];
+    // A shard document carries only the cells it owns trials of.
+    if (report.shard && cell.trial_indices.empty()) continue;
+    os << (first_cell ? "\n" : ",\n") << "    {";
+    if (report.shard) os << "\"cell\": " << i << ",\n     ";
+    write_point_json(os, cell.point);
+    os << ",\n     ";
+    write_config_json(os, cell.config);
+    os << ",\n     ";
+    if (report.shard) {
+      write_cell_trials_json(os, cell);
+    } else {
+      write_cell_summaries_json(os, cell.result);
+    }
+    os << '}';
+    first_cell = false;
   }
   os << "\n  ]\n}\n";
+}
+
+// --- Shard-document parsing: a minimal recursive-descent JSON reader
+// sized to the report schema (objects, arrays, strings, numbers, bools,
+// null; the escapes json_escape emits). Numbers keep their token text so
+// integer fields convert exactly and doubles go through one strtod.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  std::string text;  ///< number token or decoded string payload
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("sweep shard JSON: " + message +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_keyword(const char* word) {
+    const std::size_t length = std::string(word).size();
+    if (text_.compare(pos_, length, word) != 0) return false;
+    pos_ += length;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue value;
+    const char c = peek();
+    if (c == '{') {
+      value.kind = JsonValue::Kind::Object;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return value;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string_token();
+        skip_ws();
+        expect(':');
+        value.members.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return value;
+      }
+    }
+    if (c == '[') {
+      value.kind = JsonValue::Kind::Array;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return value;
+      }
+      for (;;) {
+        value.items.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return value;
+      }
+    }
+    if (c == '"') {
+      value.kind = JsonValue::Kind::String;
+      value.text = parse_string_token();
+      return value;
+    }
+    if (c == 't' || c == 'f') {
+      value.kind = JsonValue::Kind::Bool;
+      if (consume_keyword("true")) {
+        value.boolean = true;
+        return value;
+      }
+      if (consume_keyword("false")) return value;
+      fail("malformed literal");
+    }
+    if (c == 'n') {
+      if (consume_keyword("null")) return value;
+      fail("malformed literal");
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      value.kind = JsonValue::Kind::Number;
+      const std::size_t start = pos_;
+      if (peek() == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E' || text_[pos_] == '+' ||
+              text_[pos_] == '-')) {
+        ++pos_;
+      }
+      value.text = text_.substr(start, pos_ - start);
+      if (value.text.empty() || value.text == "-") fail("malformed number");
+      return value;
+    }
+    fail("unexpected character");
+  }
+
+  std::string parse_string_token() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        default: fail("unsupported string escape");
+      }
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* find_member(const JsonValue& object, const char* key) {
+  for (const auto& [name, value] : object.members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& require_member(const JsonValue& object, const char* key,
+                                const char* where) {
+  const JsonValue* value = find_member(object, key);
+  if (value == nullptr) {
+    throw std::invalid_argument("sweep shard JSON: missing \"" +
+                                std::string(key) + "\" in " + where);
+  }
+  return *value;
+}
+
+double double_of(const JsonValue& value, const char* where) {
+  if (value.kind == JsonValue::Kind::Number) {
+    // The token scanner accepts any run of number characters, so demand
+    // strtod consumes the whole token — "1.2.3" must be a loud error,
+    // not a silently merged 1.2.
+    char* end = nullptr;
+    const double parsed = std::strtod(value.text.c_str(), &end);
+    if (end != value.text.c_str() + value.text.size()) {
+      throw std::invalid_argument("sweep shard JSON: malformed number '" +
+                                  value.text + "' for " + std::string(where));
+    }
+    return parsed;
+  }
+  // Non-finite trial values round-trip as strings (see json_trial_number).
+  if (value.kind == JsonValue::Kind::String) {
+    if (value.text == "inf") return HUGE_VAL;
+    if (value.text == "-inf") return -HUGE_VAL;
+    if (value.text == "nan") return std::nan("");
+  }
+  throw std::invalid_argument("sweep shard JSON: expected a number for " +
+                              std::string(where));
+}
+
+long long integer_of(const JsonValue& value, const char* where) {
+  if (value.kind != JsonValue::Kind::Number ||
+      value.text.find_first_of(".eE") != std::string::npos) {
+    throw std::invalid_argument("sweep shard JSON: expected an integer for " +
+                                std::string(where));
+  }
+  std::size_t consumed = 0;
+  long long parsed = 0;
+  try {
+    parsed = std::stoll(value.text, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("sweep shard JSON: integer out of range for " +
+                                std::string(where));
+  }
+  if (consumed != value.text.size()) {
+    throw std::invalid_argument("sweep shard JSON: malformed integer '" +
+                                value.text + "' for " + std::string(where));
+  }
+  return parsed;
+}
+
+const std::string& string_of(const JsonValue& value, const char* where) {
+  if (value.kind != JsonValue::Kind::String) {
+    throw std::invalid_argument("sweep shard JSON: expected a string for " +
+                                std::string(where));
+  }
+  return value.text;
+}
+
+}  // namespace
+
+SweepShardReport read_sweep_shard_json(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const JsonValue root = JsonParser(buffer.str()).parse();
+  if (root.kind != JsonValue::Kind::Object) {
+    throw std::invalid_argument("sweep shard JSON: document is not an object");
+  }
+
+  const std::string& schema =
+      string_of(require_member(root, "schema", "document"), "schema");
+  if (schema != kSchema) {
+    throw std::invalid_argument("sweep shard JSON: unsupported schema \"" +
+                                schema + "\" (expected \"" + kSchema + "\")");
+  }
+
+  SweepShardReport shard;
+  shard.name = string_of(require_member(root, "name", "document"), "name");
+
+  const JsonValue* header = find_member(root, "shard");
+  if (header == nullptr) {
+    throw std::invalid_argument(
+        "sweep shard JSON: no shard header — this is a plain sweep dump "
+        "(summaries only); mergeable documents come from sweep --shard I/N");
+  }
+  shard.shard.index = static_cast<int>(
+      integer_of(require_member(*header, "index", "shard"), "shard.index"));
+  shard.shard.count = static_cast<int>(
+      integer_of(require_member(*header, "count", "shard"), "shard.count"));
+  shard.shard.validate();
+
+  const JsonValue& spec = require_member(root, "spec", "document");
+  if (spec.kind != JsonValue::Kind::Object) {
+    throw std::invalid_argument("sweep shard JSON: spec is not an object");
+  }
+  for (const auto& [key, values] : spec.members) {
+    if (values.kind != JsonValue::Kind::Array) {
+      throw std::invalid_argument("sweep shard JSON: spec key " + key +
+                                  " is not an array");
+    }
+    std::vector<std::string>& list = shard.spec[key];
+    for (const JsonValue& item : values.items) {
+      list.push_back(string_of(item, "spec value"));
+    }
+  }
+
+  const JsonValue& cells = require_member(root, "cells", "document");
+  if (cells.kind != JsonValue::Kind::Array) {
+    throw std::invalid_argument("sweep shard JSON: cells is not an array");
+  }
+  for (const JsonValue& cell : cells.items) {
+    const std::size_t cell_index = static_cast<std::size_t>(
+        integer_of(require_member(cell, "cell", "cell"), "cell"));
+    const JsonValue& trials = require_member(cell, "trials", "cell");
+    if (trials.kind != JsonValue::Kind::Array) {
+      throw std::invalid_argument("sweep shard JSON: trials is not an array");
+    }
+    for (const JsonValue& trial : trials.items) {
+      SweepShardReport::TrialRecord record;
+      record.cell = cell_index;
+      record.trial = static_cast<int>(
+          integer_of(require_member(trial, "trial", "trial"), "trial"));
+      const JsonValue& metrics = require_member(trial, "metrics", "trial");
+      for (const TrialField& field : kTrialFields) {
+        const JsonValue& value = require_member(metrics, field.key, "metrics");
+        if (field.real != nullptr) {
+          record.metrics.*field.real = double_of(value, field.key);
+        } else {
+          record.metrics.*field.integer = integer_of(value, field.key);
+        }
+      }
+      shard.trials.push_back(std::move(record));
+    }
+  }
+  return shard;
+}
+
+SweepReport merge_sweep_reports(const std::vector<SweepShardReport>& shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument("merge: no shard reports given");
+  }
+  const SweepShardReport& first = shards.front();
+  const int count = first.shard.count;
+  std::vector<bool> seen(static_cast<std::size_t>(count), false);
+  for (const SweepShardReport& shard : shards) {
+    shard.shard.validate();
+    if (shard.shard.count != count) {
+      throw std::invalid_argument(
+          "merge: shard counts disagree (" + std::to_string(count) + " vs " +
+          std::to_string(shard.shard.count) + ")");
+    }
+    if (shard.name != first.name) {
+      throw std::invalid_argument("merge: shards name different sweeps (\"" +
+                                  first.name + "\" vs \"" + shard.name +
+                                  "\")");
+    }
+    if (shard.spec != first.spec) {
+      throw std::invalid_argument(
+          "merge: shard spec headers differ — every shard must come from "
+          "the same canonical spec");
+    }
+    auto flag = seen.begin() + shard.shard.index;
+    if (*flag) {
+      throw std::invalid_argument("merge: duplicate shard " +
+                                  std::to_string(shard.shard.index) + "/" +
+                                  std::to_string(count));
+    }
+    *flag = true;
+  }
+  for (int i = 0; i < count; ++i) {
+    if (!seen[static_cast<std::size_t>(i)]) {
+      throw std::invalid_argument("merge: missing shard " + std::to_string(i) +
+                                  "/" + std::to_string(count));
+    }
+  }
+
+  // Re-expand the shared spec header; the canonical-rendering check means
+  // every shard process expanded this exact grid.
+  const SweepSpec spec = SweepSpec::from_map(first.spec);
+  if (spec.to_map() != first.spec) {
+    throw std::invalid_argument(
+        "merge: shard spec header is not the canonical to_map rendering");
+  }
+  const std::vector<SweepCell> cells = expand(spec);
+  const std::size_t trials_per_cell = static_cast<std::size_t>(spec.trials);
+
+  std::vector<std::vector<TrialMetrics>> trials(
+      cells.size(), std::vector<TrialMetrics>(trials_per_cell));
+  std::vector<std::vector<bool>> have(
+      cells.size(), std::vector<bool>(trials_per_cell, false));
+  for (const SweepShardReport& shard : shards) {
+    for (const SweepShardReport::TrialRecord& record : shard.trials) {
+      if (record.cell >= cells.size()) {
+        throw std::invalid_argument(
+            "merge: cell index " + std::to_string(record.cell) +
+            " out of range (grid has " + std::to_string(cells.size()) +
+            " cells)");
+      }
+      if (record.trial < 0 || record.trial >= spec.trials) {
+        throw std::invalid_argument(
+            "merge: trial index " + std::to_string(record.trial) +
+            " out of range (spec has " + std::to_string(spec.trials) +
+            " trials)");
+      }
+      if (!shard_owns(shard.shard,
+                      sweep_unit(record.cell, record.trial, spec.trials))) {
+        throw std::invalid_argument(
+            "merge: trial " + std::to_string(record.trial) + " of cell " +
+            std::to_string(record.cell) + " does not belong to shard " +
+            std::to_string(shard.shard.index) + "/" + std::to_string(count));
+      }
+      if (have[record.cell][static_cast<std::size_t>(record.trial)]) {
+        throw std::invalid_argument(
+            "merge: duplicate payload for trial " +
+            std::to_string(record.trial) + " of cell " +
+            std::to_string(record.cell));
+      }
+      have[record.cell][static_cast<std::size_t>(record.trial)] = true;
+      trials[record.cell][static_cast<std::size_t>(record.trial)] =
+          record.metrics;
+    }
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t t = 0; t < trials_per_cell; ++t) {
+      if (!have[c][t]) {
+        throw std::invalid_argument("merge: missing trial " +
+                                    std::to_string(t) + " of cell " +
+                                    std::to_string(c));
+      }
+    }
+  }
+
+  SweepReport report;
+  report.name = spec.name;
+  report.active_axes = active_axes_of(spec);
+  report.cells.resize(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    report.cells[c].point = cells[c].point;
+    report.cells[c].config = cells[c].config;
+    report.cells[c].result = summarize_trials(std::move(trials[c]));
+    report.cells[c].trial_indices.resize(trials_per_cell);
+    for (std::size_t t = 0; t < trials_per_cell; ++t) {
+      report.cells[c].trial_indices[t] = static_cast<int>(t);
+    }
+  }
+  return report;
 }
 
 }  // namespace taskdrop

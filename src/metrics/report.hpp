@@ -26,8 +26,53 @@ Table sweep_table(const SweepReport& report);
 /// sweep_table in RFC-4180-ish CSV.
 void write_sweep_csv(std::ostream& os, const SweepReport& report);
 
-/// Machine-readable dump (schema "taskdrop-sweep/v1"): every cell's full
+/// Machine-readable dump (schema "taskdrop-sweep/v2"): every cell's full
 /// axis point, the resolved config, and mean/ci95 of each summary metric.
+/// All numbers are emitted with the shortest round-trippable rendering;
+/// non-finite summary values become null so the document stays valid JSON.
+///
+/// When `report.shard` is engaged (a run_sweep shard), the document grows a
+/// `shard` header, the canonical `spec` map, and per-trial metric payloads
+/// per touched cell in place of the summary block — the mergeable form
+/// read_sweep_shard_json consumes. Non-finite trial values are kept as the
+/// strings "inf"/"-inf"/"nan" so they survive the round trip exactly.
 void write_sweep_json(std::ostream& os, const SweepReport& report);
+
+// --- Shard merging. A sharded run emits one mergeable JSON document per
+// shard; merging re-expands the shared spec header and reunites the
+// per-trial payloads into a report bitwise-identical to the unsharded
+// run_sweep (trial RNG is seeded per (cell, trial), so the partition
+// cannot drift).
+
+/// One parsed shard document: the header identifying its sweep and
+/// partition, plus every (cell, trial) payload it carries.
+struct SweepShardReport {
+  std::string name;
+  ShardSpec shard;
+  /// Canonical SweepSpec::to_map rendering shared by every shard.
+  SpecMap spec;
+  struct TrialRecord {
+    std::size_t cell = 0;
+    int trial = 0;
+    TrialMetrics metrics;
+  };
+  std::vector<TrialRecord> trials;
+};
+
+/// Parses a shard document written by write_sweep_json for a sharded run.
+/// Throws std::invalid_argument on malformed JSON, an unsupported schema,
+/// or a document without a shard header (plain sweep dumps carry only
+/// summaries and cannot be merged).
+SweepShardReport read_sweep_shard_json(std::istream& is);
+
+/// Reunites shard reports into the unsharded SweepReport: validates the
+/// shard headers against the canonical spec rendering (equal specs, every
+/// index 0..count-1 exactly once — duplicates and gaps are errors; order
+/// does not matter), re-expands the spec, places every trial payload by
+/// its (cell, trial) key after checking it belongs to the shard that
+/// carries it, then re-runs summarize_trials per completed cell. Throws
+/// std::invalid_argument when any unit is missing, duplicated, or
+/// misplaced.
+SweepReport merge_sweep_reports(const std::vector<SweepShardReport>& shards);
 
 }  // namespace taskdrop

@@ -88,6 +88,10 @@ DropperConfig DropperConfig::from_spec(
     } else if (key == "beta") {
       if (tunable_depth) {
         config.beta = parse_spec_double(param_context(key), value);
+        if (config.beta < 1.0) {
+          throw std::invalid_argument("dropper parameter beta must be >= 1, "
+                                      "got " + value);
+        }
       }
     } else if (key == "threshold") {
       if (config.kind == Kind::Threshold) {

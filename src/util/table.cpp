@@ -1,7 +1,10 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -10,6 +13,19 @@ namespace taskdrop {
 std::string format_fixed(double value, int precision) {
   std::ostringstream oss;
   oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0.0 ? "inf" : "-inf";
+  std::ostringstream oss;
+  for (int digits = 1; digits <= std::numeric_limits<double>::max_digits10;
+       ++digits) {
+    oss.str("");
+    oss << std::setprecision(digits) << value;
+    if (std::strtod(oss.str().c_str(), nullptr) == value) break;
+  }
   return oss.str();
 }
 

@@ -38,4 +38,12 @@ class Table {
 /// Formats `value` with `precision` fractional digits.
 std::string format_fixed(double value, int precision);
 
+/// Shortest decimal rendering of `value` that parses back to the same bits
+/// ("4", "2.5", "0.1234567"): the fewest significant digits (up to
+/// max_digits10) whose strtod round-trip is exact, so spec serialisation is
+/// a fixpoint for any finite double. Non-finite values render as "inf",
+/// "-inf" or "nan"; emitters targeting formats without those literals
+/// (JSON) must special-case them.
+std::string format_double(double value);
+
 }  // namespace taskdrop

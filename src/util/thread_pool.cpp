@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 
 namespace taskdrop {
 
@@ -59,11 +61,29 @@ void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body,
                               std::size_t threads) {
   if (count == 0) return;
+  JobErrorCollector errors;
   ThreadPool pool(threads == 0 ? 0 : threads);
   for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&body, i] { body(i); });
+    pool.submit([&, i] { errors.run([&] { body(i); }); });
   }
   pool.wait_idle();
+  errors.rethrow_if_failed();
+}
+
+void JobErrorCollector::run(const std::function<void()>& body) {
+  if (failed_.load(std::memory_order_relaxed)) return;
+  try {
+    body();
+  } catch (...) {
+    failed_.store(true, std::memory_order_relaxed);
+    std::lock_guard lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+void JobErrorCollector::rethrow_if_failed() {
+  std::lock_guard lock(mutex_);
+  if (error_) std::rethrow_exception(error_);
 }
 
 }  // namespace taskdrop

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -17,9 +19,10 @@ namespace taskdrop {
 ///  * Jobs are type-erased std::function<void()> closures; results are
 ///    written into caller-owned slots indexed by trial, so reduction order
 ///    is deterministic regardless of scheduling.
-///  * No futures/exceptions plumbing: a job that throws would terminate the
-///    process, so jobs are required to be noexcept in spirit; the experiment
-///    runner wraps trial bodies accordingly.
+///  * No futures/exceptions plumbing on submit(): a job that throws would
+///    terminate the process, so submitted jobs must not throw — callers
+///    (run_sweep, parallel_for) wrap bodies, capture the first exception
+///    and rethrow it on the calling thread after the pool drains.
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
@@ -40,7 +43,9 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs body(i) for i in [0, count) across the pool and waits for all of
-  /// them. `body` must be safe to invoke concurrently for distinct i.
+  /// them. `body` must be safe to invoke concurrently for distinct i. If a
+  /// body throws, remaining iterations are skipped and the first exception
+  /// is rethrown here once every in-flight iteration has finished.
   static void parallel_for(std::size_t count,
                            const std::function<void(std::size_t)>& body,
                            std::size_t threads = 0);
@@ -55,6 +60,27 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+};
+
+/// First-exception capture for pool jobs — ThreadPool::submit forbids
+/// throwing jobs, so callers route their job bodies through run(): once
+/// one body has thrown, later wrapped bodies are skipped, and
+/// rethrow_if_failed() reraises the first exception on the calling thread
+/// (call it after wait_idle()). Shared by parallel_for and run_sweep.
+class JobErrorCollector {
+ public:
+  /// Invokes `body` unless a previous wrapped body threw; captures the
+  /// first exception instead of letting it escape the pool worker.
+  void run(const std::function<void()>& body);
+
+  /// Rethrows the first captured exception, if any. Only meaningful once
+  /// every wrapped job has finished (after ThreadPool::wait_idle).
+  void rethrow_if_failed();
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_;
+  std::atomic<bool> failed_{false};
 };
 
 }  // namespace taskdrop

@@ -95,6 +95,22 @@ TEST(DropperRegistry, FromSpecRejectsBadInput) {
       std::invalid_argument);
   EXPECT_THROW(DropperConfig::from_spec("heuristic", {{"eta", "0"}}),
                std::invalid_argument);
+  // beta < 1 inverts Eq. 8's improvement test; rejected at parse time
+  // (and again by the dropper constructors for hand-built configs).
+  EXPECT_THROW(DropperConfig::from_spec("heuristic", {{"beta", "0.5"}}),
+               std::invalid_argument);
+  EXPECT_THROW(DropperConfig::from_spec("approx", {{"beta", "0.99"}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(DropperConfig::from_spec("heuristic", {{"beta", "1"}}));
+}
+
+TEST(DropperRegistry, MakeDropperValidatesHandBuiltParameters) {
+  DropperConfig bad_beta = DropperConfig::heuristic();
+  bad_beta.beta = 0.5;
+  EXPECT_THROW(make_dropper(bad_beta), std::invalid_argument);
+  DropperConfig bad_eta = DropperConfig::approximate();
+  bad_eta.effective_depth = 0;
+  EXPECT_THROW(make_dropper(bad_eta), std::invalid_argument);
 }
 
 }  // namespace

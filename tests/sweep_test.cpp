@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -164,6 +166,29 @@ TEST(SweepSpec, FromMapRejectsUnknownKeysAndBadValues) {
   EXPECT_THROW(SweepSpec::from_map(parse_spec_text(
                    "levels = a:2000:2.5\ntasks = 300\n")),
                std::invalid_argument);
+  // ':' is the levels-entry separator, so a label containing it cannot
+  // round-trip through to_map — rejected at parse time with a clear
+  // error, and at validate() for hand-built specs.
+  try {
+    SweepSpec::from_map(parse_spec_text("levels = a:b:2000:2.5\n"));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("':'"), std::string::npos);
+  }
+  {
+    SweepSpec spec;
+    spec.levels = {{"a:b", 2000, 2.5}};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    // And the fixed rendering round-trips: a ':'-free label re-parses to
+    // the identical level.
+    spec.levels = {{"20k", 2000, 2.5}};
+    const SpecMap map = spec.to_map();
+    const SweepSpec reparsed = SweepSpec::from_map(map);
+    ASSERT_EQ(reparsed.levels.size(), 1u);
+    EXPECT_EQ(reparsed.levels[0].label, "20k");
+    EXPECT_EQ(reparsed.levels[0].n_tasks, 2000);
+    EXPECT_DOUBLE_EQ(reparsed.levels[0].oversubscription, 2.5);
+  }
   // mttr without the mtbf axis would silently disable failure injection.
   EXPECT_THROW(SweepSpec::from_map(parse_spec_text("mttr = 500\n")),
                std::invalid_argument);
@@ -191,9 +216,11 @@ TEST(SweepSpec, KeyRegistryCoversFromMap) {
     } else if (key == "adaptive" || key == "conditioning" ||
                key == "approx") {
       map[key] = {"1"};
+    } else if (key == "beta") {
+      map[key] = {"1.5"};  // beta < 1 is rejected by the dropper registry
     } else if (key == "approx_time_factor" ||
                key == "approx_utility_weight" || key == "oversub" ||
-               key == "beta" || key == "threshold") {
+               key == "threshold") {
       map[key] = {"0.5"};
     } else if (key == "mtbf") {
       map[key] = {"60000"};
@@ -224,6 +251,25 @@ TEST(SweepSpec, ToMapFromMapIsAFixpoint) {
   EXPECT_EQ(second.cell_count(), first.cell_count());
   // And the canonical text form parses back to the same map.
   EXPECT_EQ(parse_spec_text(spec_to_text(canonical)), canonical);
+}
+
+TEST(SweepSpec, ToMapRoundTripsAwkwardDoubles) {
+  // The old 6-significant-digit rendering truncated these, so
+  // from_map(to_map()) drifted; the shortest-round-trip formatter makes
+  // the round trip bitwise for any finite double.
+  SweepSpec spec;
+  spec.levels = {{"x", 1234567, 0.1234567}};
+  spec.gammas = {1.0 / 3.0, 4.000000000000001};
+  spec.droppers = {{"heuristic", DropperConfig::heuristic(2, 1.0000001)}};
+  const SweepSpec reparsed = SweepSpec::from_map(spec.to_map());
+  ASSERT_EQ(reparsed.levels.size(), 1u);
+  EXPECT_EQ(reparsed.levels[0].oversubscription, 0.1234567);
+  ASSERT_EQ(reparsed.gammas.size(), 2u);
+  EXPECT_EQ(reparsed.gammas[0], 1.0 / 3.0);
+  EXPECT_EQ(reparsed.gammas[1], 4.000000000000001);
+  ASSERT_EQ(reparsed.droppers.size(), 1u);
+  EXPECT_EQ(reparsed.droppers[0].config.beta, 1.0000001);
+  EXPECT_EQ(reparsed.to_map(), spec.to_map());
 }
 
 TEST(ScenarioCache, SharesOneScenarioPerKindAndSeed) {
@@ -325,9 +371,44 @@ TEST(SweepReportEmitters, TableCsvAndJsonAgreeOnCells) {
 
   std::ostringstream json;
   write_sweep_json(json, report);
-  EXPECT_NE(json.str().find("taskdrop-sweep/v1"), std::string::npos);
+  EXPECT_NE(json.str().find("taskdrop-sweep/v2"), std::string::npos);
   EXPECT_NE(json.str().find("\"robustness_pct\""), std::string::npos);
   EXPECT_NE(json.str().find("\"mapper\": \"MM\""), std::string::npos);
+  // A plain (unsharded) dump carries summaries, not per-trial payloads.
+  EXPECT_EQ(json.str().find("\"shard\""), std::string::npos);
+  EXPECT_EQ(json.str().find("\"trials\": ["), std::string::npos);
+}
+
+TEST(SweepReportEmitters, JsonStaysValidForNonFiniteSummaries) {
+  SweepReport report;
+  report.name = "nan report";
+  report.active_axes = {"mapper"};
+  report.cells.resize(1);
+  report.cells[0].result.robustness = {std::nan(""), std::nan("")};
+  report.cells[0].result.normalized_cost = {
+      std::numeric_limits<double>::infinity(), 0.0};
+  std::ostringstream json;
+  write_sweep_json(json, report);
+  // Non-finite summaries degrade to null; the bare inf/nan tokens the
+  // default ostream formatting used to emit are invalid JSON.
+  EXPECT_NE(json.str().find("\"robustness_pct\": {\"mean\": null, "
+                            "\"ci95\": null}"),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"normalized_cost\": {\"mean\": null, "
+                            "\"ci95\": 0}"),
+            std::string::npos);
+  EXPECT_EQ(json.str().find("nan"), json.str().find("nan report"));
+  EXPECT_EQ(json.str().find("inf"), std::string::npos);
+}
+
+TEST(Summaries, SingleTrialCi95IsZeroNotNan) {
+  // One trial gives no variance estimate; the paper's convention (and the
+  // JSON emitter) need CI95 == 0, never nan.
+  const ExperimentResult result =
+      summarize_trials({TrialMetrics{.robustness_pct = 73.0}});
+  EXPECT_EQ(result.robustness.mean, 73.0);
+  EXPECT_EQ(result.robustness.ci95, 0.0);
+  EXPECT_TRUE(std::isfinite(result.normalized_cost.ci95));
 }
 
 TEST(Engagement, NamesRoundTripAndRejectUnknown) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "util/flags.hpp"
@@ -49,6 +52,46 @@ TEST(Table, FormatFixedPrecision) {
   EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(format_fixed(2.0, 0), "2");
   EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Table, FormatDoubleShortestForms) {
+  EXPECT_EQ(format_double(4.0), "4");
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(0.55), "0.55");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+}
+
+TEST(Table, FormatDoubleParseBackIsAFixpoint) {
+  // The contract the sweep-spec serialiser relies on: strtod of the
+  // rendering recovers the exact bits, for awkward doubles the old
+  // 6-significant-digit formatting silently truncated.
+  const double awkward[] = {0.1234567,
+                            1.0 / 3.0,
+                            4.000000000000001,
+                            1e-17,
+                            123456789.123456789,
+                            6.02214076e23,
+                            -0.1,
+                            5e-324,          // min subnormal
+                            1.7976931348623157e308};
+  for (const double value : awkward) {
+    const std::string text = format_double(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
+  // Deterministic pseudo-random sweep over many magnitudes.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double mantissa =
+        static_cast<double>(state >> 11) / 9007199254740992.0;
+    const int exponent = static_cast<int>(state % 613) - 306;
+    const double value = std::ldexp(mantissa, exponent);
+    const std::string text = format_double(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
 }
 
 // ------------------------------- Flags -------------------------------

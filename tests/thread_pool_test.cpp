@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace taskdrop {
@@ -21,6 +23,24 @@ TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
 
 TEST(ThreadPool, ParallelForZeroCountIsNoOp) {
   ThreadPool::parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForRethrowsTheFirstException) {
+  // A throwing body used to escape a pool worker and std::terminate;
+  // parallel_for now captures the first exception, skips the remaining
+  // iterations, and rethrows on the calling thread.
+  try {
+    ThreadPool::parallel_for(64, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("boom at 3");
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("boom"), std::string::npos);
+  }
+  // The pool stays usable for the next call.
+  std::atomic<int> visits{0};
+  ThreadPool::parallel_for(8, [&](std::size_t) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), 8);
 }
 
 TEST(ThreadPool, ResultsLandInCallerOwnedSlots) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Shard-merge smoke (ctest + CI): run a spec once in-process and once as
+# three shard processes + merge, and require the two JSON reports to be
+# byte-identical — the sharding subsystem's end-to-end contract.
+#
+#   tools/shard_merge_smoke.sh <taskdrop_cli> <spec.sweep>
+set -euo pipefail
+
+cli=${1:?usage: shard_merge_smoke.sh <taskdrop_cli> <spec.sweep>}
+spec=${2:?usage: shard_merge_smoke.sh <taskdrop_cli> <spec.sweep>}
+
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+
+"$cli" sweep --spec="$spec" --json --out="$tmp_dir/single.json"
+"$(dirname "$0")/sweep_shards.sh" "$cli" 3 "$tmp_dir/merged.json" \
+    --spec="$spec"
+diff "$tmp_dir/single.json" "$tmp_dir/merged.json"
+echo "shard-merge smoke OK: merged report is byte-identical"

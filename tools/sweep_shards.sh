@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Fan one sweep across N local shard processes and merge the shard
+# reports into the report a single-process run would have produced
+# (bit for bit — see the "Sharded sweeps" section of the README).
+#
+#   tools/sweep_shards.sh <taskdrop_cli> <shards> <out.json> [sweep args...]
+#
+# e.g.
+#
+#   tools/sweep_shards.sh build/tools/taskdrop_cli 4 grid.json \
+#       --spec=specs/grid.sweep
+#
+# Every extra argument is passed to each `taskdrop_cli sweep` invocation,
+# so axis overrides (--trials=2, --mapper=PAM,MM, ...) shard exactly like
+# spec files. Size N against BENCH_macro.json: one shard costs roughly
+# (units / N) x the macro per-trial time of the heaviest cell.
+#
+# Unless the caller passes --threads, each shard process is capped at
+# (cores / N) worker threads so N local shards share the machine instead
+# of oversubscribing it N-fold.
+set -euo pipefail
+
+if [[ $# -lt 3 ]]; then
+  echo "usage: sweep_shards.sh <taskdrop_cli> <shards> <out.json> [sweep args...]" >&2
+  exit 2
+fi
+cli=$1
+shards=$2
+out=$3
+shift 3
+if ! [[ "$shards" =~ ^[0-9]+$ ]] || (( shards < 1 )); then
+  echo "sweep_shards: shard count must be a positive integer, got '$shards'" >&2
+  exit 2
+fi
+
+threads_given=0
+for arg in "$@"; do
+  [[ "$arg" == --threads=* ]] && threads_given=1
+done
+if (( ! threads_given )); then
+  cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+  per_shard=$(( cores / shards ))
+  (( per_shard < 1 )) && per_shard=1
+  set -- "$@" --threads="$per_shard"
+fi
+
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+
+pids=()
+for (( i = 0; i < shards; i++ )); do
+  "$cli" sweep "$@" --shard="$i/$shards" --json \
+      --out="$tmp_dir/shard_$i.json" &
+  pids+=($!)
+done
+
+failed=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || failed=1
+done
+if (( failed )); then
+  echo "sweep_shards: a shard process failed" >&2
+  exit 1
+fi
+
+files=()
+for (( i = 0; i < shards; i++ )); do
+  files+=("$tmp_dir/shard_$i.json")
+done
+"$cli" merge "${files[@]}" --format=json --out="$out"

@@ -11,16 +11,28 @@
                   --dropper=heuristic,reactive --tasks=2000,3000 \
                   --oversub=2.5,3.0 --trials=8 [--out=report.csv] [--progress]
 
+     taskdrop_cli sweep --spec=specs/grid.sweep --shard=0/3 --json \
+                  --out=shard_0.json
+     taskdrop_cli merge shard_0.json shard_1.json shard_2.json \
+                  [--format=table|csv|json] [--out=merged.json]
+
      taskdrop_cli --list-scenarios --list-mappers --list-droppers
 
    `sweep` expands the cross product of every axis (see the specs/ dir and
    the README's sweep section); inline axis flags take comma-separated
    lists and override same-named keys of --spec. All names resolve through
-   the registries, so unknown ones list the available set. */
+   the registries, so unknown ones list the available set.
+
+   `--shard=I/N` runs only shard I of the round-robin (cell x trial)
+   partition and emits a mergeable JSON document; `merge` reunites all N
+   such documents into the report the unsharded sweep would have produced,
+   bit for bit (tools/sweep_shards.sh orchestrates both locally). */
 #include <algorithm>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <stdexcept>
+#include <vector>
 
 #include "cost/cost_model.hpp"
 #include "exp/experiment.hpp"
@@ -123,13 +135,32 @@ int run_single(const Flags& flags) {
   return 0;
 }
 
+/// Opens --out when given, else stdout; `write` receives the stream.
+int emit_to_out(const Flags& flags,
+                const std::function<void(std::ostream&)>& write) {
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (flags.has("out")) {
+    file.open(flags.get("out", ""));
+    if (!file) {
+      throw std::runtime_error("cannot write " + flags.get("out", ""));
+    }
+    out = &file;
+  }
+  write(*out);
+  if (flags.has("out")) {
+    std::cout << "wrote " << flags.get("out", "") << "\n";
+  }
+  return 0;
+}
+
 int run_sweep_command(const Flags& flags) {
   // The Flags parser drops unrecognised tokens (so benches can share argv
   // with google-benchmark), but for sweeps a typo'd axis flag would
   // silently run the wrong grid — reject anything that is neither a spec
   // key nor a sweep option. "full" can appear via the REPRO_FULL fold-in.
   static const std::vector<std::string> kSweepOptions = {
-      "spec", "csv", "json", "out", "progress", "threads", "full"};
+      "spec", "csv", "json", "out", "progress", "threads", "shard", "full"};
   for (const std::string& key : flags.keys()) {
     const auto& spec_keys = sweep_spec_keys();
     const bool known =
@@ -190,6 +221,29 @@ int run_sweep_command(const Flags& flags) {
                                 std::to_string(threads));
   }
   options.threads = static_cast<std::size_t>(threads);
+  if (flags.has("shard")) {
+    const std::string text = flags.get("shard", "");
+    const auto slash = text.find('/');
+    if (slash == std::string::npos) {
+      throw std::invalid_argument(
+          "--shard expects index/count (e.g. --shard=0/3), got '" + text +
+          "'");
+    }
+    ShardSpec shard;
+    shard.index = parse_spec_int("shard index", text.substr(0, slash));
+    shard.count = parse_spec_int("shard count", text.substr(slash + 1));
+    shard.validate();
+    // Table/CSV of a shard would show partial means and zero rows for
+    // untouched cells with nothing marking them as such — the only
+    // faithful rendering of a shard is the mergeable JSON document.
+    if (!flags.get_bool("json")) {
+      throw std::invalid_argument(
+          "--shard requires --json: a shard report is a mergeable JSON "
+          "document, not a standalone summary (merge shards first, then "
+          "render)");
+    }
+    options.shard = shard;
+  }
   if (flags.get_bool("progress")) {
     options.on_cell = [](const SweepCellResult& cell, std::size_t done,
                          std::size_t total) {
@@ -203,28 +257,69 @@ int run_sweep_command(const Flags& flags) {
   }
   const SweepReport report = run_sweep(spec, options);
 
-  std::ofstream file;
-  std::ostream* out = &std::cout;
-  if (flags.has("out")) {
-    file.open(flags.get("out", ""));
-    if (!file) {
-      throw std::runtime_error("cannot write " + flags.get("out", ""));
+  return emit_to_out(flags, [&](std::ostream& out) {
+    if (flags.get_bool("json")) {
+      write_sweep_json(out, report);
+    } else if (flags.get_bool("csv")) {
+      write_sweep_csv(out, report);
+    } else {
+      out << "sweep: " << report.name << "  cells=" << report.cells.size()
+          << " trials=" << spec.trials << " seed=" << spec.seed << "\n\n";
+      sweep_table(report).print(out);
     }
-    out = &file;
+  });
+}
+
+int run_merge_command(const Flags& flags,
+                      const std::vector<std::string>& files) {
+  // "full" can appear via the REPRO_FULL fold-in (it scales sweeps, not
+  // merges, but must not make merge refuse to run).
+  static const std::vector<std::string> kMergeOptions = {"format", "out",
+                                                         "full"};
+  for (const std::string& key : flags.keys()) {
+    if (std::find(kMergeOptions.begin(), kMergeOptions.end(), key) ==
+        kMergeOptions.end()) {
+      throw std::invalid_argument("unknown merge flag: --" + key +
+                                  " (options: " +
+                                  join_spec_list(kMergeOptions) + ")");
+    }
   }
-  if (flags.get_bool("json")) {
-    write_sweep_json(*out, report);
-  } else if (flags.get_bool("csv")) {
-    write_sweep_csv(*out, report);
-  } else {
-    *out << "sweep: " << report.name << "  cells=" << report.cells.size()
-         << " trials=" << spec.trials << " seed=" << spec.seed << "\n\n";
-    sweep_table(report).print(*out);
+  if (files.empty()) {
+    throw std::invalid_argument(
+        "merge: no shard files given (usage: taskdrop_cli merge "
+        "shard_0.json shard_1.json ... [--format=table|csv|json] "
+        "[--out=merged.json])");
   }
-  if (flags.has("out")) {
-    std::cout << "wrote " << flags.get("out", "") << "\n";
+  const std::string format = flags.get("format", "table");
+  if (format != "table" && format != "csv" && format != "json") {
+    throw std::invalid_argument("unknown merge format: " + format +
+                                " (available: table, csv, json)");
   }
-  return 0;
+
+  std::vector<SweepShardReport> shards;
+  shards.reserve(files.size());
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read " + path);
+    try {
+      shards.push_back(read_sweep_shard_json(in));
+    } catch (const std::invalid_argument& error) {
+      throw std::invalid_argument(path + ": " + error.what());
+    }
+  }
+  const SweepReport report = merge_sweep_reports(shards);
+
+  return emit_to_out(flags, [&](std::ostream& out) {
+    if (format == "json") {
+      write_sweep_json(out, report);
+    } else if (format == "csv") {
+      write_sweep_csv(out, report);
+    } else {
+      out << "merged sweep: " << report.name << "  cells="
+          << report.cells.size() << " shards=" << shards.size() << "\n\n";
+      sweep_table(report).print(out);
+    }
+  });
 }
 
 }  // namespace
@@ -239,8 +334,16 @@ int main(int argc, char** argv) {
         (argc > 1 && argv[1][0] != '-') ? argv[1] : "run";
     if (command == "run") return run_single(flags);
     if (command == "sweep") return run_sweep_command(flags);
+    if (command == "merge") {
+      // Shard files are the bare (non-flag) tokens after the subcommand.
+      std::vector<std::string> files;
+      for (int i = 2; i < argc; ++i) {
+        if (argv[i][0] != '-') files.emplace_back(argv[i]);
+      }
+      return run_merge_command(flags, files);
+    }
     throw std::invalid_argument("unknown command: " + command +
-                                " (available: run, sweep)");
+                                " (available: run, sweep, merge)");
   } catch (const std::exception& error) {
     std::cerr << "taskdrop_cli: " << error.what() << "\n";
     return 1;
