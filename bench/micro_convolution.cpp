@@ -29,6 +29,8 @@ void BM_Convolve(benchmark::State& state) {
   const Pmf a = make_pmf(n, 1);
   const Pmf b = make_pmf(n, 2);
   for (auto _ : state) {
+    // This bench measures the allocating kernel on purpose, as the
+    // workspace baseline. layering-allow(direct-convolve)
     benchmark::DoNotOptimize(convolve(a, b));
   }
   state.SetComplexityN(n);
@@ -43,6 +45,7 @@ void BM_DeadlineConvolve(benchmark::State& state) {
   // convolves, half passes through.
   const Tick deadline = (pred.min_time() + pred.max_time()) / 2;
   for (auto _ : state) {
+    // layering-allow(direct-convolve): allocating-kernel baseline.
     benchmark::DoNotOptimize(deadline_convolve(pred, exec, deadline));
   }
   state.SetComplexityN(n);

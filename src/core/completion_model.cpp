@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "prob/convolution.hpp"
+#include "util/audit.hpp"
 
 namespace taskdrop {
 namespace {
@@ -14,6 +16,23 @@ constexpr double kUnitMass = 1.0;
 /// In-place delta(t) without releasing the PMF's allocation.
 void set_delta(Pmf& pmf, Tick t) {
   pmf.assign(t, 1, &kUnitMass, &kUnitMass + 1);
+}
+
+/// TASKDROP_AUDIT helper: bitwise PMF comparison. The incremental chain
+/// promises bit-identity with direct recomputation (the *_into kernels and
+/// the allocating ones share one implementation), so the comparison is
+/// exact, not tolerance-based.
+void audit_expect_same_pmf(const Pmf& got, const Pmf& ref,
+                           const std::string& what) {
+  bool same = got.size() == ref.size();
+  for (std::size_t i = 0; same && i < got.size(); ++i) {
+    same = got.time_at(i) == ref.time_at(i) &&
+           // float-eq-ok: bit-identity audit is exact by design
+           got.prob_at_index(i) == ref.prob_at_index(i);
+  }
+  if (!same) {
+    audit::fail(what + ": incremental chain diverged from direct recompute");
+  }
 }
 
 }  // namespace
@@ -30,12 +49,22 @@ void CompletionModel::set_now(Tick now) {
   if (now == now_) return;
   now_ = now;
   set_delta(base_, now_);
-  if (options_.condition_running && machine_ != nullptr && machine_->running) {
-    // The conditioned running-task PMF depends on `now`.
+  if (machine_ == nullptr) return;
+  if (machine_->running) {
+    // The conditioned running-task PMF depends on `now`; the unconditioned
+    // one is rooted at run_start and survives time advancing.
+    if (options_.condition_running) invalidate_all();
+  } else if (!machine_->queue.empty()) {
+    // A non-running machine with queued tasks — only reachable while a
+    // failure holds the machine down (start_next starts every up machine's
+    // head before time can advance) — has its cached chain rooted at
+    // base = delta(old now). Rebase it, or chance queries against the down
+    // machine keep answering from the stale start time. Surfaced by the
+    // TASKDROP_AUDIT chain cross-check under failure injection.
     invalidate_all();
   }
-  // The unconditioned model only depends on `now` through the idle-machine
-  // base, and an idle machine has no cached positions to invalidate.
+  // An idle machine with an empty queue has no cached positions; the
+  // refreshed base_ alone covers it.
 }
 
 void CompletionModel::invalidate_from(std::size_t pos) {
@@ -113,6 +142,56 @@ void CompletionModel::ensure(std::size_t pos) {
     chances_[i] = completions_[i].mass_before(task.deadline);
   }
   valid_count_ = std::max(valid_count_, pos + 1);
+  if (audit::due(audit_chain_counter_)) audit_verify_chain(pos);
+}
+
+void CompletionModel::audit_verify_chain(std::size_t pos) {
+  // Reference recompute: rebuild [0, pos] from scratch with the allocating
+  // kernels (one shared implementation with the *_into variants, so equal
+  // inputs give bit-equal outputs) and an independent chain variable —
+  // nothing here reads the cached completions_ except to compare.
+  Pmf ref;
+  for (std::size_t i = 0; i <= pos; ++i) {
+    const Task& task =
+        (*tasks_)[static_cast<std::size_t>(machine_->queue[i])];
+    if (i == 0) {
+      if (machine_->running) {
+        const Pmf start(machine_->run_start, 1, {1.0});
+        // Audit reference path on purpose. layering-allow(direct-convolve)
+        ref = convolve(start, exec_pmf(0));
+        if (options_.condition_running) {
+          // Mirror compute_running_completion's conditioning: strip mass at
+          // or before now_, renormalise, degenerate to the last bin when
+          // everything is in the past.
+          std::vector<std::pair<Tick, double>> kept;
+          for (std::size_t j = 0; j < ref.size(); ++j) {
+            if (ref.time_at(j) > now_ && ref.prob_at_index(j) > 0.0) {
+              kept.emplace_back(ref.time_at(j), ref.prob_at_index(j));
+            }
+          }
+          if (kept.empty()) {
+            set_delta(ref, ref.max_time());
+          } else {
+            ref = Pmf::from_impulses(std::move(kept), ref.stride());
+            ref.normalize();
+          }
+        }
+      } else {
+        // Audit reference path on purpose. layering-allow(direct-convolve)
+        ref = deadline_convolve(base_, exec_pmf(0), task.deadline);
+      }
+    } else {
+      // Audit reference path on purpose. layering-allow(direct-convolve)
+      ref = deadline_convolve(ref, exec_pmf(i), task.deadline);
+    }
+    audit_expect_same_pmf(completions_[i], ref,
+                          "completion chain position " + std::to_string(i));
+    // float-eq-ok: bit-identity audit is exact by design
+    if (chances_[i] != ref.mass_before(task.deadline)) {
+      audit::fail("cached chance at position " + std::to_string(i) +
+                  " diverged from direct recompute");
+    }
+  }
 }
 
 const Pmf& CompletionModel::completion(std::size_t pos) {
@@ -155,6 +234,12 @@ const Pmf& CompletionModel::tail() {
 double CompletionModel::tail_mean() {
   if (machine_->queue.empty()) return static_cast<double>(now_);
   if (tail_mean_valid_ && tail_mean_revision_ == chain_version_) {
+    if (audit::due(audit_tail_mean_counter_)) {
+      // float-eq-ok: bit-identity audit is exact by design
+      if (tail_mean_ != completion(machine_->queue.size() - 1).mean()) {
+        audit::fail("tail_mean memo diverged from completion(last).mean()");
+      }
+    }
     return tail_mean_;
   }
   const std::size_t last = machine_->queue.size() - 1;
@@ -187,7 +272,7 @@ double CompletionModel::direct_chance_if_appended(TaskTypeId type,
   for (std::size_t i = 0; i < pred.size(); ++i) {
     const Tick k = pred.time_at(i);
     if (k >= deadline) break;
-    if (p[i] == 0.0) continue;
+    if (p[i] == 0.0) continue;  // float-eq-ok: exact-zero sparse skip
     sum += p[i] * exec_cdf.mass_before(deadline - k);
   }
   return sum;
@@ -235,6 +320,7 @@ CompletionModel::AppendedSlot& CompletionModel::appended_slot(
     double acc = 0.0;
     const double* p = pred.data();
     for (std::size_t i = 0; i < pred.size(); ++i) {
+      // float-eq-ok: exact-zero sparse skip
       if (p[i] != 0.0) acc += p[i] * exec_total;
       slot.sat_prefix[i] = acc;
     }
@@ -262,7 +348,7 @@ double CompletionModel::appended_cell(AppendedSlot& slot, TaskTypeId type,
   const double* p = pred.data();
   const std::size_t window_hi = std::min(cell, pred.size());
   for (std::size_t i = window_lo; i < window_hi; ++i) {
-    if (p[i] == 0.0) continue;
+    if (p[i] == 0.0) continue;  // float-eq-ok: exact-zero sparse skip
     // In-window terms sit at execution-prefix index cell - i by lattice
     // arithmetic (same double mass_before(d - k_i) would return).
     sum += p[i] * exec_cdf.prefix_at(cell - i);
@@ -288,7 +374,15 @@ double CompletionModel::chance_if_appended(TaskTypeId type, Tick deadline) {
       static_cast<std::size_t>(
           (deadline - slot.offset + slot.stride - 1) / slot.stride),
       slot.value.size() - 1);
-  return appended_cell(slot, type, cell);
+  const double result = appended_cell(slot, type, cell);
+  if (audit::due(audit_appended_counter_)) {
+    // float-eq-ok: bit-identity audit is exact by design
+    if (result != direct_chance_if_appended(type, deadline)) {
+      audit::fail("appended-distribution cache diverged from the direct "
+                  "tail fold");
+    }
+  }
+  return result;
 }
 
 const PmfCdf& CompletionModel::appended_view(TaskTypeId type) {

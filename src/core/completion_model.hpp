@@ -188,6 +188,10 @@ class CompletionModel {
   const Pmf& exec_pmf(std::size_t pos) const;
   void ensure(std::size_t pos);
   void compute_running_completion(Pmf& out);
+  /// TASKDROP_AUDIT cross-check (sampled from ensure): recompute the chain
+  /// [0, pos] from scratch with the allocating kernels and require bitwise
+  /// equality with the incrementally maintained completions_/chances_.
+  void audit_verify_chain(std::size_t pos);
   AppendedSlot& appended_slot(TaskTypeId type);
   double appended_cell(AppendedSlot& slot, TaskTypeId type, std::size_t cell);
   double direct_chance_if_appended(TaskTypeId type, Tick deadline);
@@ -231,6 +235,13 @@ class CompletionModel {
   double tail_mean_ = 0.0;
   std::uint64_t tail_mean_revision_ = 0;
   bool tail_mean_valid_ = false;
+
+  /// TASKDROP_AUDIT sampling counters, one per audited memo so a chatty
+  /// site cannot starve the others (unused in normal builds, where the
+  /// audit gates fold to constant false).
+  std::uint64_t audit_chain_counter_ = 0;
+  std::uint64_t audit_appended_counter_ = 0;
+  std::uint64_t audit_tail_mean_counter_ = 0;
 
   PmfWorkspace* shared_ws_ = nullptr;
   PmfWorkspace owned_ws_;

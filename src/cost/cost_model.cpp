@@ -18,23 +18,16 @@ double CostModel::rate(MachineTypeId type) const {
   return rate_per_hour_[static_cast<std::size_t>(type)];
 }
 
-double CostModel::total_cost(const SimResult& result) const {
-  assert(result.busy_ticks.size() == result.machine_types.size());
+double CostModel::busy_cost(
+    const std::vector<Tick>& busy_ticks,
+    const std::vector<MachineTypeId>& machine_types) const {
+  assert(busy_ticks.size() == machine_types.size());
   double dollars = 0.0;
-  for (std::size_t m = 0; m < result.busy_ticks.size(); ++m) {
-    dollars += static_cast<double>(result.busy_ticks[m]) / kTicksPerHour *
-               rate(result.machine_types[m]);
+  for (std::size_t m = 0; m < busy_ticks.size(); ++m) {
+    dollars += static_cast<double>(busy_ticks[m]) / kTicksPerHour *
+               rate(machine_types[m]);
   }
   return dollars;
-}
-
-double CostModel::cost_per_robustness(const SimResult& result,
-                                      int exclude_head,
-                                      int exclude_tail) const {
-  const double robustness =
-      result.robustness_pct(exclude_head, exclude_tail);
-  if (robustness <= 0.0) return 0.0;
-  return total_cost(result) / (robustness / 100.0);
 }
 
 }  // namespace taskdrop

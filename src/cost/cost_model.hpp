@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "sim/sim_result.hpp"
+#include "util/time_types.hpp"
 
 namespace taskdrop {
 
@@ -11,6 +11,12 @@ namespace taskdrop {
 /// metric normalises the total incurred cost by the achieved robustness —
 /// "the price incurred to process the tasks is divided by the percentage of
 /// tasks completed on time".
+///
+/// The model is pure pricing arithmetic over (busy time, machine type)
+/// pairs — it deliberately knows nothing about the simulator. The
+/// SimResult-consuming conveniences (total cost of a run, Fig. 9's
+/// normalised cost) live in metrics/aggregate.hpp, the layer that already
+/// joins simulation outputs with pricing.
 class CostModel {
  public:
   /// `rate_per_hour[t]` = $ per hour of machine type t.
@@ -18,13 +24,10 @@ class CostModel {
 
   double rate(MachineTypeId type) const;
 
-  /// Total dollars of executing time across all machines of a run.
-  double total_cost(const SimResult& result) const;
-
-  /// Fig. 9's normalised cost: total cost divided by the fraction of tasks
-  /// completed on time (robustness/100). Returns 0 when robustness is 0.
-  double cost_per_robustness(const SimResult& result, int exclude_head = 100,
-                             int exclude_tail = 100) const;
+  /// Total dollars of executing time: busy_ticks[m] ticks on a machine of
+  /// type machine_types[m], for every machine m.
+  double busy_cost(const std::vector<Tick>& busy_ticks,
+                   const std::vector<MachineTypeId>& machine_types) const;
 
  private:
   std::vector<double> rate_per_hour_;

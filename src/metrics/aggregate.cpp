@@ -12,9 +12,9 @@ TrialMetrics compute_trial_metrics(const SimResult& result,
   metrics.robustness_pct = result.robustness_pct(exclude_head, exclude_tail);
   metrics.utility_pct =
       result.utility_pct(approx_weight, exclude_head, exclude_tail);
-  metrics.total_cost = cost_model.total_cost(result);
+  metrics.total_cost = total_cost(cost_model, result);
   metrics.normalized_cost =
-      cost_model.cost_per_robustness(result, exclude_head, exclude_tail);
+      cost_per_robustness(cost_model, result, exclude_head, exclude_tail);
   metrics.reactive_drop_share_pct =
       result.reactive_drop_share_pct(exclude_head, exclude_tail);
   const SimCounts counts = result.counts_in_window(exclude_head, exclude_tail);
@@ -28,6 +28,19 @@ TrialMetrics compute_trial_metrics(const SimResult& result,
   metrics.mapping_events = result.mapping_events;
   metrics.dropper_invocations = result.dropper_invocations;
   return metrics;
+}
+
+double total_cost(const CostModel& cost_model, const SimResult& result) {
+  return cost_model.busy_cost(result.busy_ticks, result.machine_types);
+}
+
+double cost_per_robustness(const CostModel& cost_model,
+                           const SimResult& result, int exclude_head,
+                           int exclude_tail) {
+  const double robustness =
+      result.robustness_pct(exclude_head, exclude_tail);
+  if (robustness <= 0.0) return 0.0;
+  return total_cost(cost_model, result) / (robustness / 100.0);
 }
 
 Summary summarize(const std::vector<double>& values) {

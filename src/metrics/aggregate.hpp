@@ -34,6 +34,17 @@ TrialMetrics compute_trial_metrics(const SimResult& result,
                                    int exclude_tail = 100,
                                    double approx_weight = 0.5);
 
+/// Total dollars of executing time across all machines of a run. Lives
+/// here rather than on CostModel so the cost layer stays below the
+/// simulator in the module DAG (see tools/check_layering.py).
+double total_cost(const CostModel& cost_model, const SimResult& result);
+
+/// Fig. 9's normalised cost: total cost divided by the fraction of tasks
+/// completed on time (robustness/100). Returns 0 when robustness is 0.
+double cost_per_robustness(const CostModel& cost_model,
+                           const SimResult& result, int exclude_head = 100,
+                           int exclude_tail = 100);
+
 /// Mean and 95 % confidence half-width of a per-trial series — the paper's
 /// reporting convention (section V-A).
 struct Summary {

@@ -79,7 +79,7 @@ void convolve_into(const Pmf& a, const Pmf& b, PmfWorkspace& ws, Pmf& out) {
     const std::size_t nb = b.size();
     for (std::size_t i = 0; i < a.size(); ++i) {
       const double pa = a.prob_at_index(i);
-      if (pa == 0.0) continue;
+      if (pa == 0.0) continue;  // float-eq-ok: exact-zero sparse skip
       double* o = acc.data() + i;
       for (std::size_t j = 0; j < nb; ++j) o[j] += pa * pb[j];
     }
@@ -164,7 +164,7 @@ void deadline_convolve_into(const Pmf& pred, const Pmf& exec, Tick deadline,
                                stride);
   for (std::size_t i = 0; i < split; ++i) {
     const double pk = pred.prob_at_index(i);
-    if (pk == 0.0) continue;
+    if (pk == 0.0) continue;  // float-eq-ok: exact-zero sparse skip
     double* o = acc.data() + conv_base + i;
     for (std::size_t j = 0; j < ne; ++j) o[j] += pk * pe[j];
   }

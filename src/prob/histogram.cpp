@@ -1,17 +1,24 @@
 #include "prob/histogram.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <map>
+#include <stdexcept>
 
 namespace taskdrop {
 
 Pmf pmf_from_samples(const std::vector<double>& samples_ms, Tick bin_width) {
-  assert(bin_width >= 1);
-  assert(!samples_ms.empty());
+  if (bin_width < 1) {
+    throw std::invalid_argument("pmf_from_samples: bin width must be >= 1");
+  }
+  if (samples_ms.empty()) {
+    throw std::invalid_argument("pmf_from_samples: no samples");
+  }
   std::map<Tick, double> counts;
   for (double x : samples_ms) {
-    assert(x >= 0.0);
+    if (x < 0.0) {
+      throw std::invalid_argument(
+          "pmf_from_samples: samples must be >= 0");
+    }
     auto bin = static_cast<Tick>(std::llround(x / static_cast<double>(bin_width)));
     if (bin < 1) bin = 1;  // execution takes at least one bin
     counts[bin * bin_width] += 1.0;

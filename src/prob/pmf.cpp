@@ -1,8 +1,8 @@
 #include "prob/pmf.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace taskdrop {
 
@@ -10,18 +10,28 @@ Pmf Pmf::delta(Tick t) { return Pmf(t, 1, {1.0}); }
 
 Pmf Pmf::from_impulses(std::vector<std::pair<Tick, double>> impulses,
                        Tick stride) {
-  assert(stride >= 1);
+  if (stride < 1) {
+    throw std::invalid_argument("Pmf::from_impulses: stride must be >= 1");
+  }
   if (impulses.empty()) return Pmf();
   std::sort(impulses.begin(), impulses.end());
   const Tick lo = impulses.front().first;
   const Tick hi = impulses.back().first;
-  assert((hi - lo) % stride == 0 && "impulses must lie on a common lattice");
+  if ((hi - lo) % stride != 0) {
+    throw std::invalid_argument(
+        "Pmf::from_impulses: impulses must lie on a common lattice");
+  }
   Pmf out(lo, stride,
           std::vector<double>(static_cast<std::size_t>((hi - lo) / stride + 1),
                               0.0));
   for (const auto& [t, p] : impulses) {
-    assert(p >= 0.0);
-    assert((t - lo) % stride == 0 && "impulse off lattice");
+    if (p < 0.0) {
+      throw std::invalid_argument(
+          "Pmf::from_impulses: impulse mass must be >= 0");
+    }
+    if ((t - lo) % stride != 0) {
+      throw std::invalid_argument("Pmf::from_impulses: impulse off lattice");
+    }
     out.probs_[static_cast<std::size_t>((t - lo) / stride)] += p;
   }
   return out;
@@ -29,13 +39,19 @@ Pmf Pmf::from_impulses(std::vector<std::pair<Tick, double>> impulses,
 
 Pmf::Pmf(Tick offset, Tick stride, std::vector<double> probs)
     : offset_(offset), stride_(stride), probs_(std::move(probs)) {
-  assert(stride_ >= 1);
+  if (stride_ < 1) {
+    throw std::invalid_argument("Pmf: stride must be >= 1");
+  }
 }
 
 void Pmf::assign(Tick offset, Tick stride, const double* first,
                  const double* last) {
-  assert(stride >= 1);
-  assert(first <= last);
+  if (stride < 1) {
+    throw std::invalid_argument("Pmf::assign: stride must be >= 1");
+  }
+  if (first > last) {
+    throw std::invalid_argument("Pmf::assign: invalid impulse range");
+  }
   probs_.assign(first, last);
   if (probs_.empty()) {
     offset_ = 0;
@@ -128,13 +144,17 @@ void Pmf::lump_tail(Tick horizon) {
 }
 
 void Pmf::add_impulse(Tick t, double p) {
-  assert(p >= 0.0);
+  if (p < 0.0) {
+    throw std::invalid_argument("Pmf::add_impulse: mass must be >= 0");
+  }
   if (empty()) {
     offset_ = t;
     probs_ = {p};
     return;
   }
-  assert((t - offset_) % stride_ == 0 && "impulse off lattice");
+  if ((t - offset_) % stride_ != 0) {
+    throw std::invalid_argument("Pmf::add_impulse: impulse off lattice");
+  }
   if (t < offset_) {
     const auto grow = static_cast<std::size_t>((offset_ - t) / stride_);
     probs_.insert(probs_.begin(), grow, 0.0);
@@ -146,12 +166,14 @@ void Pmf::add_impulse(Tick t, double p) {
 }
 
 Pmf Pmf::scale_time(double factor) const {
-  assert(factor > 0.0);
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("Pmf::scale_time: factor must be > 0");
+  }
   if (empty()) return Pmf();
   std::vector<std::pair<Tick, double>> impulses;
   impulses.reserve(size());
   for (std::size_t i = 0; i < probs_.size(); ++i) {
-    if (probs_[i] == 0.0) continue;
+    if (probs_[i] == 0.0) continue;  // float-eq-ok: exact-zero sparse skip
     const double scaled = factor * static_cast<double>(time_at(i));
     Tick bin = static_cast<Tick>(
                    std::llround(scaled / static_cast<double>(stride_))) *
@@ -163,7 +185,9 @@ Pmf Pmf::scale_time(double factor) const {
 }
 
 Tick Pmf::quantile(double p) const {
-  assert(!empty());
+  if (empty()) {
+    throw std::logic_error("Pmf::quantile: empty distribution");
+  }
   double acc = 0.0;
   for (std::size_t i = 0; i < probs_.size(); ++i) {
     acc += probs_[i];
@@ -173,7 +197,9 @@ Tick Pmf::quantile(double p) const {
 }
 
 Tick Pmf::sample(Rng& rng) const {
-  assert(!empty());
+  if (empty()) {
+    throw std::logic_error("Pmf::sample: empty distribution");
+  }
   const double u = rng.uniform01() * total_mass();
   double acc = 0.0;
   for (std::size_t i = 0; i < probs_.size(); ++i) {

@@ -1,7 +1,7 @@
 #include "prob/sampler.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 
 namespace taskdrop {
 
@@ -11,7 +11,7 @@ CdfSampler::CdfSampler(const Pmf& pmf) {
   double acc = 0.0;
   for (std::size_t i = 0; i < pmf.size(); ++i) {
     const double p = pmf.prob_at_index(i);
-    if (p == 0.0) continue;
+    if (p == 0.0) continue;  // float-eq-ok: exact-zero sparse skip
     acc += p;
     times_.push_back(pmf.time_at(i));
     cdf_.push_back(acc);
@@ -30,7 +30,10 @@ void PmfCdf::rebuild(const Pmf& pmf) {
 
 std::vector<double>& PmfCdf::rebuild_prefix(Tick offset, Tick stride,
                                             std::size_t bins) {
-  assert(stride >= 1);
+  if (stride < 1) {
+    throw std::invalid_argument(
+        "PmfCdf::rebuild_prefix: stride must be >= 1");
+  }
   offset_ = offset;
   stride_ = stride;
   prefix_.resize(bins + 1);
@@ -38,7 +41,9 @@ std::vector<double>& PmfCdf::rebuild_prefix(Tick offset, Tick stride,
 }
 
 Tick CdfSampler::sample(Rng& rng) const {
-  assert(valid());
+  if (!valid()) {
+    throw std::logic_error("CdfSampler::sample: empty distribution");
+  }
   const double u = rng.uniform01() * cdf_.back();
   const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
   const auto i = static_cast<std::size_t>(

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "pet/pet_builder.hpp"
+#include "util/audit.hpp"
 
 namespace taskdrop {
 namespace {
@@ -53,7 +55,7 @@ void Engine::reset(const Trace& trace) {
   exec_rng_.reseed(config_.exec_seed);
   failure_rng_.reseed(config_.failures.seed);
   batch_.reset(trace.size());
-  batch_expiry_ = {};
+  batch_expiry_.clear();
   events_ = EventQueue();
 
   tasks_.clear();
@@ -172,8 +174,7 @@ SimResult Engine::run(const Trace& trace) {
 void Engine::handle_arrival(TaskId task) {
   assert(tasks_[static_cast<std::size_t>(task)].state == TaskState::Unmapped);
   batch_.push_back(task);
-  batch_expiry_.emplace(tasks_[static_cast<std::size_t>(task)].deadline,
-                        task);
+  batch_expiry_.push(tasks_[static_cast<std::size_t>(task)].deadline, task);
 }
 
 void Engine::handle_completion(MachineId machine_id, std::uint32_t token) {
@@ -280,6 +281,44 @@ void Engine::mapping_event() {
   mapper_.map_tasks(view_, *this);
 
   for (Machine& machine : machines_) start_next(machine);
+
+  if (audit::due(audit_counter_)) audit_batch_coherence();
+}
+
+void Engine::audit_batch_coherence() const {
+  // BatchQueue: forward iteration must visit exactly size() live entries,
+  // every one an Unmapped task that arrived, and the expiry heap must hold
+  // a (deadline, id) entry for each so the lazy reactive pass can never
+  // miss an expiry. The heap may hold stale extras (lazy deletion), but
+  // its backing store must still be a well-formed min-heap.
+  std::size_t seen = 0;
+  for (const TaskId id : batch_) {
+    ++seen;
+    if (!batch_.contains(id)) {
+      audit::fail("batch iteration reached a non-live task " +
+                  std::to_string(id));
+    }
+    const Task& task = tasks_[static_cast<std::size_t>(id)];
+    if (task.state != TaskState::Unmapped) {
+      audit::fail("batch task " + std::to_string(id) +
+                  " is not in state Unmapped");
+    }
+    if (task.arrival > now_) {
+      audit::fail("batch task " + std::to_string(id) +
+                  " has not arrived yet");
+    }
+    if (!batch_expiry_.contains(task.deadline, id)) {
+      audit::fail("batch task " + std::to_string(id) +
+                  " has no expiry-heap entry — it could expire unnoticed");
+    }
+  }
+  if (seen != batch_.size()) {
+    audit::fail("batch size " + std::to_string(batch_.size()) +
+                " disagrees with iteration count " + std::to_string(seen));
+  }
+  if (!batch_expiry_.is_heap()) {
+    audit::fail("expiry heap lost the heap property");
+  }
 }
 
 void Engine::start_next(Machine& machine) {

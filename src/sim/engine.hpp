@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "sched/mapper.hpp"
 #include "sim/batch_queue.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/expiry_heap.hpp"
 #include "sim/sim_result.hpp"
 #include "workload/trace.hpp"
 
@@ -103,6 +103,9 @@ class Engine final : private SchedulerOps {
   /// Marks a terminal transition (bookkeeping for failure-event cutoff).
   void on_terminal() { --live_tasks_; }
   void schedule_next_failure(MachineId machine);
+  /// TASKDROP_AUDIT cross-check (sampled from mapping_event): BatchQueue
+  /// link/size/state coherence and expiry-heap coverage of the batch.
+  void audit_batch_coherence() const;
 
   const PetMatrix& pet_;
   std::vector<MachineTypeId> machine_type_of_;
@@ -127,10 +130,7 @@ class Engine final : private SchedulerOps {
   /// dominant cost once oversubscription lets thousands of unmapped tasks
   /// accumulate; with the heap it only ever touches tasks that actually
   /// expired.
-  std::priority_queue<std::pair<Tick, TaskId>,
-                      std::vector<std::pair<Tick, TaskId>>,
-                      std::greater<std::pair<Tick, TaskId>>>
-      batch_expiry_;
+  ExpiryHeap batch_expiry_;
   EventQueue events_;
   Rng exec_rng_;
   Rng failure_rng_;
@@ -141,6 +141,9 @@ class Engine final : private SchedulerOps {
   /// Tasks not yet in a terminal state; failure events stop being scheduled
   /// once this reaches zero so the simulation always drains.
   long long live_tasks_ = 0;
+  /// Sampling counter for the TASKDROP_AUDIT coherence pass (unused in
+  /// normal builds, where the audit gate folds to constant false).
+  std::uint64_t audit_counter_ = 0;
 };
 
 }  // namespace taskdrop

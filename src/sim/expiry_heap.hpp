@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace taskdrop {
+
+/// Min-heap of (deadline, task) pairs backing the engine's lazy reactive
+/// expiry pass. Replaces a bare std::priority_queue with the same ordering
+/// (std::greater over the pair, so earliest deadline on top, task id as the
+/// deterministic tie-break) but with an inspectable backing store: the
+/// invariant auditor needs to verify that every live batch-queue task is
+/// covered by a heap entry and that the heap property actually holds, and
+/// a std::priority_queue hides its container.
+///
+/// Lazy-deletion contract (same as before the refactor): entries are never
+/// removed when a task leaves the batch queue by assignment; the consumer
+/// pops and skips entries whose task is no longer in the batch.
+class ExpiryHeap {
+ public:
+  using Entry = std::pair<Tick, TaskId>;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Earliest-deadline entry. Must not be called on an empty heap.
+  const Entry& top() const {
+    assert(!entries_.empty());
+    return entries_.front();
+  }
+
+  void push(Tick deadline, TaskId task) {
+    entries_.emplace_back(deadline, task);
+    std::push_heap(entries_.begin(), entries_.end(), Compare{});
+  }
+
+  void pop() {
+    assert(!entries_.empty());
+    std::pop_heap(entries_.begin(), entries_.end(), Compare{});
+    entries_.pop_back();
+  }
+
+  void clear() { entries_.clear(); }
+
+  /// Audit introspection: the raw backing store, heap-ordered.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Audit introspection: does the backing store satisfy the heap property?
+  bool is_heap() const {
+    return std::is_heap(entries_.begin(), entries_.end(), Compare{});
+  }
+
+  /// Audit introspection: is (deadline, task) present? Linear scan — only
+  /// ever called from sampled audit passes.
+  bool contains(Tick deadline, TaskId task) const {
+    return std::find(entries_.begin(), entries_.end(),
+                     Entry{deadline, task}) != entries_.end();
+  }
+
+ private:
+  /// std::greater makes std::push_heap/pop_heap maintain a min-heap —
+  /// exactly the priority_queue<..., std::greater<>> this class replaced.
+  using Compare = std::greater<Entry>;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace taskdrop

@@ -1,0 +1,39 @@
+#include "util/audit.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace taskdrop::audit {
+namespace {
+
+std::uint64_t g_interval = 0;  // 0 = not yet initialised from the env
+
+std::uint64_t interval_from_env() {
+  const char* raw = std::getenv("TASKDROP_AUDIT_INTERVAL");
+  if (raw == nullptr || *raw == '\0') return 256;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed == 0) {
+    throw std::invalid_argument(
+        std::string("TASKDROP_AUDIT_INTERVAL must be a positive integer, "
+                    "got: ") + raw);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+std::uint64_t interval() {
+  if (g_interval == 0) g_interval = interval_from_env();
+  return g_interval;
+}
+
+void set_interval_for_testing(std::uint64_t interval) {
+  g_interval = interval == 0 ? 1 : interval;
+}
+
+void fail(const std::string& what) {
+  throw std::logic_error("taskdrop audit: " + what);
+}
+
+}  // namespace taskdrop::audit

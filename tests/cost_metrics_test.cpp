@@ -34,7 +34,9 @@ TEST(CostModel, TotalCostIsBusyTimeTimesRate) {
   const CostModel model({3.6, 7.2});
   SimResult result = make_result({}, {3600000, 1800000}, {0, 1});
   // 1 h * 3.6 + 0.5 h * 7.2 = 7.2 dollars.
-  EXPECT_NEAR(model.total_cost(result), 7.2, 1e-9);
+  EXPECT_NEAR(total_cost(model, result), 7.2, 1e-9);
+  EXPECT_NEAR(model.busy_cost(result.busy_ticks, result.machine_types), 7.2,
+              1e-9);
   EXPECT_DOUBLE_EQ(model.rate(1), 7.2);
 }
 
@@ -46,14 +48,14 @@ TEST(CostModel, CostPerRobustnessNormalisesByOnTimeFraction) {
        TaskState::CompletedLate, TaskState::CompletedLate},
       {3600000}, {0});
   EXPECT_NEAR(result.robustness_pct(0, 0), 50.0, 1e-12);
-  EXPECT_NEAR(model.cost_per_robustness(result, 0, 0), 3.6 / 0.5, 1e-9);
+  EXPECT_NEAR(cost_per_robustness(model, result, 0, 0), 3.6 / 0.5, 1e-9);
 }
 
 TEST(CostModel, ZeroRobustnessYieldsZeroNormalisedCost) {
   const CostModel model({1.0});
   SimResult result =
       make_result({TaskState::CompletedLate}, {1000}, {0});
-  EXPECT_DOUBLE_EQ(model.cost_per_robustness(result, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(cost_per_robustness(model, result, 0, 0), 0.0);
 }
 
 TEST(SimResult, WindowExclusionClampsWhenTraceIsShort) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "prob/histogram.hpp"
 #include "prob/sampler.hpp"
 #include "test_util.hpp"
@@ -104,6 +106,19 @@ TEST(PmfCdf, InvalidWhenDefaultConstructed) {
   const PmfCdf cdf;
   EXPECT_FALSE(cdf.valid());
   EXPECT_DOUBLE_EQ(cdf.total_mass(), 0.0);
+}
+
+
+TEST(HistogramValidation, RejectsMalformedInputs) {
+  EXPECT_THROW(pmf_from_samples({}, 10), std::invalid_argument);
+  EXPECT_THROW(pmf_from_samples({50.0}, 0), std::invalid_argument);
+  EXPECT_THROW(pmf_from_samples({-1.0}, 10), std::invalid_argument);
+}
+
+TEST(CdfSamplerValidation, SampleFromEmptyThrows) {
+  const CdfSampler sampler{Pmf{}};
+  Rng rng(1);
+  EXPECT_THROW(sampler.sample(rng), std::logic_error);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "test_util.hpp"
 
 namespace taskdrop {
@@ -209,6 +211,37 @@ TEST_P(PmfStrideTest, QuantileSampleAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Strides, PmfStrideTest,
                          ::testing::Values<Tick>(1, 2, 5, 10));
+
+
+// Validation is a real (throwing) error path, not assert-only: Release
+// builds must reject malformed inputs too (lint rule: no assert-only
+// validation in src/prob).
+TEST(PmfValidation, RejectsMalformedInputs) {
+  EXPECT_THROW(Pmf(0, 0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Pmf::from_impulses({{0, 1.0}}, 0), std::invalid_argument);
+  EXPECT_THROW(Pmf::from_impulses({{0, 0.5}, {3, 0.5}}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(Pmf::from_impulses({{0, -0.5}}, 1), std::invalid_argument);
+}
+
+TEST(PmfValidation, AddImpulseRejectsOffLatticeAndNegativeMass) {
+  Pmf pmf = Pmf::from_impulses({{0, 0.5}, {4, 0.5}}, 2);
+  EXPECT_THROW(pmf.add_impulse(3, 0.1), std::invalid_argument);
+  EXPECT_THROW(pmf.add_impulse(2, -0.1), std::invalid_argument);
+}
+
+TEST(PmfValidation, ScaleTimeRejectsNonPositiveFactor) {
+  const Pmf pmf = Pmf::delta(5);
+  EXPECT_THROW(pmf.scale_time(0.0), std::invalid_argument);
+  EXPECT_THROW(pmf.scale_time(-1.0), std::invalid_argument);
+}
+
+TEST(PmfValidation, QuantileAndSampleRejectEmpty) {
+  const Pmf pmf;
+  Rng rng(1);
+  EXPECT_THROW(pmf.quantile(0.5), std::logic_error);
+  EXPECT_THROW(pmf.sample(rng), std::logic_error);
+}
 
 }  // namespace
 }  // namespace taskdrop

@@ -1,0 +1,208 @@
+// Concurrency stress suite — the TSan preset's main target. Hammers the
+// harness's shared-state surfaces with enough threads and iterations that
+// ThreadSanitizer can observe conflicting accesses if any exist:
+// ThreadPool's job queue and idle tracking, JobErrorCollector's
+// first-exception capture under true contention, ScenarioCache's
+// build-outside-lock sharing, and run_sweep driven from several threads at
+// once against one shared cache.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/scenario_cache.hpp"
+#include "exp/sweep.hpp"
+
+namespace taskdrop {
+namespace {
+
+constexpr std::size_t kPoolThreads = 4;
+
+TEST(ThreadPoolStress, SubmitHammerAcrossWaitIdleCycles) {
+  ThreadPool pool(kPoolThreads);
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<int> slots(256, 0);
+  // Several submit/wait_idle rounds: wait_idle must establish a full
+  // happens-before edge so the unsynchronised slot writes of one round are
+  // visible to the next round's reads.
+  for (int round = 0; round < 8; ++round) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      pool.submit([&sum, &slots, i] {
+        slots[i] += 1;  // disjoint per job; racy only if the pool is broken
+        sum.fetch_add(i, std::memory_order_relaxed);
+      });
+    }
+    pool.wait_idle();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      ASSERT_EQ(slots[i], round + 1) << "slot " << i;
+    }
+  }
+  EXPECT_EQ(sum.load(), 8u * (255u * 256u / 2u));
+}
+
+TEST(ThreadPoolStress, ParallelForCoversEveryIndexRepeatedly) {
+  std::vector<std::uint8_t> hit(1000);
+  for (int round = 0; round < 5; ++round) {
+    std::fill(hit.begin(), hit.end(), std::uint8_t{0});
+    ThreadPool::parallel_for(
+        hit.size(), [&hit](std::size_t i) { hit[i] = 1; }, kPoolThreads);
+    for (std::size_t i = 0; i < hit.size(); ++i) {
+      ASSERT_EQ(hit[i], 1) << "index " << i << " round " << round;
+    }
+  }
+}
+
+TEST(ThreadPoolStress, ParallelForRethrowsWithoutTerminating) {
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      ThreadPool::parallel_for(
+          500,
+          [&executed](std::size_t i) {
+            executed.fetch_add(1, std::memory_order_relaxed);
+            if (i % 7 == 0) {
+              throw std::runtime_error("iteration " + std::to_string(i));
+            }
+          },
+          kPoolThreads),
+      std::runtime_error);
+  EXPECT_GE(executed.load(), 1);
+  EXPECT_LE(executed.load(), 500);
+}
+
+TEST(JobErrorCollectorStress, ManyThreadsThrowingDeliverExactlyOne) {
+  // True contention on the capture path: every job throws, from many
+  // workers at once. Exactly one exception must be captured (never a
+  // terminate from an escaping exception), and the winner must be intact.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(kPoolThreads);
+    JobErrorCollector collector;
+    std::atomic<int> attempts{0};
+    constexpr int kJobs = 64;
+    for (int j = 0; j < kJobs; ++j) {
+      pool.submit([&collector, &attempts, j] {
+        collector.run([&attempts, j] {
+          attempts.fetch_add(1, std::memory_order_relaxed);
+          throw std::runtime_error("job " + std::to_string(j));
+        });
+      });
+    }
+    pool.wait_idle();
+    int delivered = 0;
+    std::string what;
+    try {
+      collector.rethrow_if_failed();
+    } catch (const std::runtime_error& error) {
+      ++delivered;
+      what = error.what();
+    }
+    ASSERT_EQ(delivered, 1);
+    EXPECT_EQ(what.rfind("job ", 0), 0u) << what;
+    EXPECT_GE(attempts.load(), 1);
+  }
+}
+
+TEST(JobErrorCollectorStress, MixedOutcomesSkipAfterFirstFailure) {
+  ThreadPool pool(kPoolThreads);
+  JobErrorCollector collector;
+  std::atomic<int> completed{0};
+  for (int j = 0; j < 200; ++j) {
+    pool.submit([&collector, &completed, j] {
+      collector.run([&completed, j] {
+        if (j == 13) throw std::logic_error("poison");
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_THROW(collector.rethrow_if_failed(), std::logic_error);
+  // Everything that ran to completion did so exactly once; jobs entered
+  // after the failure were skipped, so the count cannot exceed the total.
+  EXPECT_LT(completed.load(), 200);
+}
+
+TEST(ScenarioCacheStress, ContentionOnSameAndDistinctKeys) {
+  ScenarioCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const Scenario>> seen(
+      static_cast<std::size_t>(kThreads));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, &seen, t] {
+        // Half the threads fight over one key; the rest spread across
+        // distinct (kind, seed) pairs. Builds run outside the cache lock
+        // (deliberate — duplicated builds are deterministic and the last
+        // writer wins), so the only invariant on the racy first round is
+        // that every returned scenario is complete and consistent.
+        const std::uint64_t seed = t % 2 == 0 ? 42u : 100u + unsigned(t);
+        const auto scenario = cache.get(ScenarioKind::Homogeneous, seed);
+        seen[static_cast<std::size_t>(t)] = scenario;
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (const auto& scenario : seen) {
+    ASSERT_NE(scenario, nullptr);
+    EXPECT_FALSE(scenario->profile.machine_types.empty());
+  }
+  // Settled state: one entry per distinct key, and repeat lookups share it.
+  EXPECT_EQ(cache.size(), 1u + kThreads / 2);
+  EXPECT_EQ(cache.get(ScenarioKind::Homogeneous, 42),
+            cache.get(ScenarioKind::Homogeneous, 42));
+}
+
+TEST(SweepStress, ConcurrentSweepsShareOneCache) {
+  // Two multi-threaded run_sweep calls racing on one ScenarioCache, each
+  // of which must still produce exactly the single-threaded report.
+  SweepSpec spec;
+  spec.name = "stress";
+  spec.scenarios = {ScenarioKind::Homogeneous};
+  spec.levels = {{"tiny", 200, 3.0}};
+  spec.mappers = {"PAM", "MM"};
+  spec.trials = 2;
+  spec.seed = 42;
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepReport expected = run_sweep(spec, serial);
+
+  ScenarioCache cache;
+  std::vector<SweepReport> reports(2);
+  {
+    std::vector<std::thread> drivers;
+    for (int d = 0; d < 2; ++d) {
+      drivers.emplace_back([&spec, &cache, &reports, d] {
+        SweepOptions options;
+        options.threads = 2;
+        options.cache = &cache;
+        reports[static_cast<std::size_t>(d)] = run_sweep(spec, options);
+      });
+    }
+    for (std::thread& driver : drivers) driver.join();
+  }
+  for (const SweepReport& report : reports) {
+    ASSERT_EQ(report.cells.size(), expected.cells.size());
+    for (std::size_t c = 0; c < report.cells.size(); ++c) {
+      const auto& got = report.cells[c].result;
+      const auto& want = expected.cells[c].result;
+      ASSERT_EQ(got.trials.size(), want.trials.size());
+      for (std::size_t t = 0; t < got.trials.size(); ++t) {
+        EXPECT_EQ(got.trials[t].robustness_pct, want.trials[t].robustness_pct);
+        EXPECT_EQ(got.trials[t].total_cost, want.trials[t].total_cost);
+        EXPECT_EQ(got.trials[t].completed_on_time,
+                  want.trials[t].completed_on_time);
+      }
+    }
+  }
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace taskdrop

@@ -51,7 +51,7 @@ pids=()
 for (( i = 0; i < shards; i++ )); do
   "$cli" sweep "$@" --shard="$i/$shards" --json \
       --out="$tmp_dir/shard_$i.json" &
-  pids+=($!)
+  pids+=("$!")
 done
 
 failed=0
