@@ -1,0 +1,70 @@
+// Micro benchmarks for the online admission service: steady-state
+// per-decision latency of the OnlineScheduler callback path as a function
+// of machine-queue depth. One iteration is one finish + one arrival on a
+// single saturated machine — two mapping events that each walk the
+// completion-model chain of a depth-q queue — so this is the per-event
+// cost a serve daemon pays once warm (chain updates are O(q)
+// convolutions; the dropper sees every queue on both events).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/proactive_heuristic_dropper.hpp"
+#include "online/online_scheduler.hpp"
+#include "sched/registry.hpp"
+#include "workload/scenario.hpp"
+
+namespace {
+
+using namespace taskdrop;
+
+const Scenario& scenario() {
+  static const Scenario s = make_scenario(ScenarioKind::SpecHC, 42);
+  return s;
+}
+
+/// Keeps a single machine's queue pinned at `depth` tasks (running head
+/// included): every iteration finishes the head and admits one
+/// replacement with a far-off deadline, so the dropper never changes the
+/// occupancy and the measured work is the pure decision path.
+void BM_OnlineSteadyState(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const Scenario& scn = scenario();
+  auto mapper = make_mapper("PAM");
+  ProactiveHeuristicDropper dropper;
+  OnlineConfig config;
+  config.queue_capacity = depth;
+  OnlineScheduler scheduler(scn.pet, {0}, *mapper, dropper, config);
+
+  // Far enough out that every queued task's completion chance stays at
+  // one; tight deadlines would let the dropper drain the queue.
+  const Tick slack = 1 << 28;
+  Tick now = 0;
+  const auto confirm = [&](const std::vector<Decision>& decisions) {
+    for (const Decision& decision : decisions) {
+      if (decision.kind == DecisionKind::Start) {
+        scheduler.task_started(now, decision.machine, decision.task);
+      }
+    }
+  };
+  TaskTypeId next_type = 0;
+  const auto arrive = [&] {
+    confirm(scheduler.task_arrived(now, next_type, now + slack));
+    next_type = static_cast<TaskTypeId>(
+        (next_type + 1) % scn.pet.task_type_count());
+  };
+  for (int i = 0; i < depth; ++i) arrive();
+
+  for (auto _ : state) {
+    ++now;
+    confirm(scheduler.task_finished(now, 0));
+    arrive();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // mapping events
+}
+BENCHMARK(BM_OnlineSteadyState)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

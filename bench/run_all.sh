@@ -26,7 +26,8 @@ schema=${3:-taskdrop-bench-micro/v1}
 shift $(( $# > 3 ? 3 : $# ))
 benches=("$@")
 if [[ ${#benches[@]} -eq 0 ]]; then
-  benches=(micro_chain micro_completion micro_convolution micro_dropper)
+  benches=(micro_chain micro_completion micro_convolution micro_dropper
+           micro_online)
 fi
 
 tmp_dir=$(mktemp -d)

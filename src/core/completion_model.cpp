@@ -55,10 +55,10 @@ void CompletionModel::set_now(Tick now) {
     // one is rooted at run_start and survives time advancing.
     if (options_.condition_running) invalidate_all();
   } else if (!machine_->queue.empty()) {
-    // A non-running machine with queued tasks — only reachable while a
-    // failure holds the machine down (start_next starts every up machine's
-    // head before time can advance) — has its cached chain rooted at
-    // base = delta(old now). Rebase it, or chance queries against the down
+    // A non-running machine with queued tasks — a failure holding the
+    // machine down, or (live mode) a Start offer the environment has not
+    // confirmed yet while time advances — has its cached chain rooted at
+    // base = delta(old now). Rebase it, or chance queries against the idle
     // machine keep answering from the stale start time. Surfaced by the
     // TASKDROP_AUDIT chain cross-check under failure injection.
     invalidate_all();

@@ -14,7 +14,7 @@ Scenario build_scenario(const ExperimentConfig& config) {
 
 TrialMetrics run_trial(const ExperimentConfig& config,
                        const Scenario& scenario, const CostModel& cost_model,
-                       std::size_t trial) {
+                       std::size_t trial, ReplayLog* replay) {
   WorkloadConfig workload = config.workload;
   workload.seed = Rng::derive(config.seed, trial)();
 
@@ -38,6 +38,7 @@ TrialMetrics run_trial(const ExperimentConfig& config,
 
   Engine engine(scenario.pet, scenario.profile.machine_types, *mapper,
                 *dropper, engine_config);
+  engine.set_replay_log(replay);
   const SimResult result = engine.run(trace);
   return compute_trial_metrics(result, cost_model, config.exclude_head,
                                config.exclude_tail,

@@ -61,9 +61,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
 /// run_experiment and the SweepRunner, so a sweep cell and a standalone
 /// run_experiment on the same config are bitwise-identical by construction.
 /// `cost_model` must be built from `scenario.profile.cost_per_hour`.
+/// When `replay` is non-null the trial's full environment trace and
+/// decision stream are recorded into it (see Engine::set_replay_log) — the
+/// differential replay suite records paper-config trials this way.
 TrialMetrics run_trial(const ExperimentConfig& config,
                        const Scenario& scenario, const CostModel& cost_model,
-                       std::size_t trial);
+                       std::size_t trial, ReplayLog* replay = nullptr);
 
 /// Reduces per-trial metrics into the summaries of ExperimentResult.
 ExperimentResult summarize_trials(std::vector<TrialMetrics> trials);

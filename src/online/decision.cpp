@@ -1,0 +1,29 @@
+#include "online/decision.hpp"
+
+#include <ostream>
+
+namespace taskdrop {
+
+std::string_view to_string(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::Assign: return "assign";
+    case DecisionKind::Start: return "start";
+    case DecisionKind::Downgrade: return "downgrade";
+    case DecisionKind::DropProactive: return "drop_proactive";
+    case DecisionKind::DropReactive: return "drop_reactive";
+    case DecisionKind::ExpireUnmapped: return "expire_unmapped";
+    case DecisionKind::FinishOnTime: return "finish_on_time";
+    case DecisionKind::FinishLate: return "finish_late";
+    case DecisionKind::LostToFailure: return "lost_to_failure";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& out, const Decision& decision) {
+  out << "t=" << decision.time << " kind=" << to_string(decision.kind)
+      << " task=" << decision.task;
+  if (decision.machine >= 0) out << " machine=" << decision.machine;
+  return out;
+}
+
+}  // namespace taskdrop

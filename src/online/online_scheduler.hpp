@@ -1,0 +1,228 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/completion_model.hpp"
+#include "core/context.hpp"
+#include "core/dropper.hpp"
+#include "online/decision.hpp"
+#include "pet/pet_matrix.hpp"
+#include "prob/workspace.hpp"
+#include "sched/mapper.hpp"
+#include "sim/batch_queue.hpp"
+#include "sim/expiry_heap.hpp"
+#include "sim/machine.hpp"
+#include "sim/task.hpp"
+
+namespace taskdrop {
+
+/// Approximate-computing extension (section VI future work): tasks can be
+/// switched to a degraded-quality variant whose execution PMF is the full
+/// one time-scaled by `time_factor`; an on-time approximate completion
+/// contributes `utility_weight` (vs 1.0) to the utility metric.
+///
+/// (Defined here rather than in sim/engine.hpp because the online
+/// scheduler owns the approximate PET; EngineConfig embeds it via this
+/// header.)
+struct ApproxModel {
+  bool enabled = false;
+  double time_factor = 0.5;
+  double utility_weight = 0.5;
+};
+
+/// Tuning knobs of the online admission service. Defaults mirror the
+/// paper's evaluation setup (and EngineConfig, which maps onto this).
+struct OnlineConfig {
+  /// Machine-queue capacity, running task included (section V-A: six).
+  int queue_capacity = 6;
+  /// When the dropping mechanism runs (Fig. 4 vs section V-A).
+  DropperEngagement engagement = DropperEngagement::EveryMappingEvent;
+  /// Extension: condition the running task's completion PMF on "not done
+  /// yet" (see CompletionModel::Options).
+  bool condition_running = false;
+  /// Declare that machines may go down (machine_down can be called).
+  /// Controls the start-time chain-keep optimisation only — decisions are
+  /// unaffected; a down machine can leave a queue idle across a time gap,
+  /// which forces the conservative chain rebuild on task starts.
+  bool volatile_machines = false;
+  ApproxModel approx;
+};
+
+/// The paper's decision kernels — mapper + dropper + per-machine
+/// CompletionModel stack — decoupled from the discrete-event simulation
+/// clock: an online admission service driven by wall-clock callbacks.
+///
+/// The environment (a simulator event loop, a socket daemon, an in-process
+/// queue) reports what happened —
+///
+///   task_arrived(t, ...)      a new task wants admission
+///   task_started(t, m, task)  machine m began executing its queue head
+///   task_finished(t, m)       machine m's running task completed
+///   machine_down(t, m)        machine m failed (kills its running task)
+///   machine_up(t, m)          machine m recovered
+///   advance(t)                time passed with no event (expiries fire)
+///
+/// — and every callback returns the stream of admission/map/drop decisions
+/// it caused, in mutation order. Each callback is one mapping event
+/// (section III): expired tasks are reactively dropped, the Task Dropper
+/// runs (per the engagement policy), the Mapper assigns unmapped tasks to
+/// free machine-queue slots, and idle machines get Start recommendations.
+/// A Start decision is advisory: the scheduler models the task as running
+/// only once the environment confirms it with task_started (the sim engine
+/// confirms immediately, reproducing classic batch-mode semantics; a live
+/// driver confirms when a worker actually picks the task up). While a
+/// Start is unconfirmed the scheduler does not re-issue it; if the head it
+/// named is dropped or the machine goes down first, the offer lapses and a
+/// later mapping event re-evaluates.
+///
+/// The clock is monotone: callbacks must carry non-decreasing `t`
+/// (std::invalid_argument otherwise). The scheduler sees only execution
+/// *distributions* (the PET); ground-truth durations stay on the
+/// environment side — the optional `duration` of task_started is recorded
+/// for the environment's own bookkeeping (SimResult) and never read by a
+/// decision path.
+///
+/// sim/Engine drives this same kernel stack (one driver among others), so
+/// the existing figure suites lock the decision stream down bit for bit.
+class OnlineScheduler final : public SchedulerOps {
+ public:
+  /// `pet` must outlive the scheduler. `machine_types[i]` is machine i's
+  /// type (an index into the PET matrix's machine axis). Throws
+  /// std::invalid_argument on an empty fleet or capacity < 1.
+  OnlineScheduler(const PetMatrix& pet,
+                  std::vector<MachineTypeId> machine_types, Mapper& mapper,
+                  Dropper& dropper, OnlineConfig config = {});
+
+  OnlineScheduler(const OnlineScheduler&) = delete;
+  OnlineScheduler& operator=(const OnlineScheduler&) = delete;
+
+  /// Pre-sizes task storage (an optimisation; storage grows on demand).
+  void reserve_tasks(std::size_t task_count);
+
+  /// Registers a task without announcing its arrival — storage-only, no
+  /// clock advance, no decisions. Lets a driver that knows its workload up
+  /// front (the sim engine, a trace replayer) pin task ids to trace
+  /// indices. Ids are assigned sequentially from 0.
+  TaskId register_task(TaskTypeId type, Tick arrival, Tick deadline);
+
+  /// A new task arrived at `t` and asks for admission. Returns the
+  /// decision stream of the triggered mapping event (valid until the next
+  /// decision-returning callback). `out_id` receives the new task's id.
+  const std::vector<Decision>& task_arrived(Tick t, TaskTypeId type,
+                                            Tick deadline,
+                                            TaskId* out_id = nullptr);
+  /// Arrival of a pre-registered task (see register_task).
+  const std::vector<Decision>& task_arrived(Tick t, TaskId task);
+
+  /// Confirms a Start decision: machine `machine` began executing its
+  /// queue head `task` at `t`. `duration` is the environment's
+  /// ground-truth execution time when it knows one up front (the sim
+  /// engine's sampled duration, recorded into Task::actual_execution and
+  /// Machine::run_end); pass a negative value when unknown (live mode).
+  /// Emits no decisions — a start is not a mapping event (section III).
+  void task_started(Tick t, MachineId machine, TaskId task,
+                    Tick duration = -1);
+
+  /// Machine `machine`'s running task finished at `t`. Returns the
+  /// FinishOnTime/FinishLate record followed by the decisions of the
+  /// triggered mapping event.
+  const std::vector<Decision>& task_finished(Tick t, MachineId machine);
+
+  /// Machine `machine` went down at `t`: its running task (if any) is
+  /// lost — partially executed time is still billed — and its queued
+  /// tasks wait for recovery (mapped tasks cannot be remapped,
+  /// section III). Down machines accept no new assignments.
+  const std::vector<Decision>& machine_down(Tick t, MachineId machine);
+
+  /// Machine `machine` recovered at `t`.
+  const std::vector<Decision>& machine_up(Tick t, MachineId machine);
+
+  /// Time advanced to `t` with no task/machine event: runs a mapping event
+  /// so deadline expiries and deferred mappings are reconsidered.
+  const std::vector<Decision>& advance(Tick t);
+
+  Tick now() const { return now_; }
+  std::size_t task_count() const { return tasks_.size(); }
+  const Task& task(TaskId id) const {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<Machine>& machines() const { return machines_; }
+  const Machine& machine(MachineId id) const {
+    return machines_[static_cast<std::size_t>(id)];
+  }
+  /// Unmapped tasks currently waiting in the batch queue.
+  std::size_t unmapped_count() const { return batch_.size(); }
+  /// Earliest deadline among unmapped tasks; kNeverTick when none. The
+  /// engine schedules its drain-time wakeup from this.
+  Tick earliest_unmapped_deadline() const;
+  long long mapping_events() const { return mapping_events_; }
+  long long dropper_invocations() const { return dropper_invocations_; }
+  /// The time-scaled PET of the approximate-computing extension (null when
+  /// disabled). Environments sample approximate tasks' ground truth here.
+  const PetMatrix* approx_pet() const {
+    return approx_pet_ ? &*approx_pet_ : nullptr;
+  }
+
+  /// Moves the task table out (the engine harvests SimResult from it).
+  /// The scheduler must not be used afterwards, only destroyed.
+  std::vector<Task> take_tasks() { return std::move(tasks_); }
+
+  // SchedulerOps — the mutation interface the mapper and dropper act
+  // through during a mapping event. Public for parity with SystemSandbox;
+  // calling these outside a mapping event breaks the decision stream.
+  void assign_task(TaskId task, MachineId machine) override;
+  void drop_queued_task(MachineId machine, std::size_t pos) override;
+  void downgrade_task(MachineId machine, std::size_t pos) override;
+
+ private:
+  void advance_clock(Tick t);
+  void mapping_event();
+  /// Drops expired pending tasks (machine queues and batch queue); returns
+  /// true when at least one task was dropped.
+  bool reactive_drop_pass();
+  /// End of the mapping event: reactively drop late queue heads, then
+  /// offer a Start for every up, idle machine with a startable head.
+  void start_pass();
+  void emit(DecisionKind kind, TaskId task, MachineId machine);
+  /// TASKDROP_AUDIT cross-check (sampled from mapping_event): BatchQueue
+  /// link/size/state coherence and expiry-heap coverage of the batch.
+  void audit_batch_coherence() const;
+
+  const PetMatrix& pet_;
+  Mapper& mapper_;
+  Dropper& dropper_;
+  OnlineConfig config_;
+  /// Time-scaled PET for approximate-mode tasks (approx extension only).
+  std::optional<PetMatrix> approx_pet_;
+
+  Tick now_ = 0;
+  std::vector<Task> tasks_;
+  std::vector<Machine> machines_;
+  /// Convolution scratch shared by every per-machine completion model (the
+  /// scheduler is single-threaded, and one buffer keeps the hot
+  /// chain-rebuild loop in cache across machines).
+  PmfWorkspace model_ws_;
+  std::vector<CompletionModel> models_;
+  BatchQueue batch_;
+  /// Unmapped tasks ordered by deadline (lazy deletion: entries whose task
+  /// already left the batch are skipped on pop), so the reactive pass only
+  /// ever touches tasks that actually expired.
+  ExpiryHeap batch_expiry_;
+  SystemView view_;
+  /// Unconfirmed Start offer per machine (-1: none). Prevents duplicate
+  /// Start decisions while the environment has not reported the start yet;
+  /// lapses automatically when the offered head leaves the queue.
+  std::vector<TaskId> start_offered_;
+  bool deadline_miss_pending_ = false;
+  long long mapping_events_ = 0;
+  long long dropper_invocations_ = 0;
+  /// Decision stream of the current callback (reused storage).
+  std::vector<Decision> decisions_;
+  /// Sampling counter for the TASKDROP_AUDIT coherence pass (unused in
+  /// normal builds, where the audit gate folds to constant false).
+  std::uint64_t audit_counter_ = 0;
+};
+
+}  // namespace taskdrop

@@ -1,0 +1,52 @@
+#include "online/replay.hpp"
+
+#include <stdexcept>
+
+#include "online/online_scheduler.hpp"
+
+namespace taskdrop {
+
+std::vector<Decision> replay_decisions(OnlineScheduler& scheduler,
+                                       const ReplayLog& log) {
+  if (scheduler.task_count() != 0) {
+    throw std::invalid_argument(
+        "replay_decisions: scheduler must be freshly constructed");
+  }
+  scheduler.reserve_tasks(log.tasks.size());
+  for (const TaskSpec& spec : log.tasks) {
+    scheduler.register_task(spec.type, spec.arrival, spec.deadline);
+  }
+
+  std::vector<Decision> decisions;
+  decisions.reserve(log.decisions.size());
+  const auto append = [&decisions](const std::vector<Decision>& batch) {
+    decisions.insert(decisions.end(), batch.begin(), batch.end());
+  };
+
+  for (const ReplayEvent& event : log.events) {
+    switch (event.kind) {
+      case ReplayEvent::Kind::Arrive:
+        append(scheduler.task_arrived(event.time, event.task));
+        break;
+      case ReplayEvent::Kind::Start:
+        scheduler.task_started(event.time, event.machine, event.task,
+                               event.duration);
+        break;
+      case ReplayEvent::Kind::Finish:
+        append(scheduler.task_finished(event.time, event.machine));
+        break;
+      case ReplayEvent::Kind::Down:
+        append(scheduler.machine_down(event.time, event.machine));
+        break;
+      case ReplayEvent::Kind::Up:
+        append(scheduler.machine_up(event.time, event.machine));
+        break;
+      case ReplayEvent::Kind::Advance:
+        append(scheduler.advance(event.time));
+        break;
+    }
+  }
+  return decisions;
+}
+
+}  // namespace taskdrop

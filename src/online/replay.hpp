@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "online/decision.hpp"
+#include "workload/trace.hpp"
+
+namespace taskdrop {
+
+class OnlineScheduler;
+
+/// One environment callback as the engine recorded it: what happened, when,
+/// and to whom — exactly the information a live driver would have had.
+struct ReplayEvent {
+  enum class Kind : std::uint8_t {
+    /// A registered task arrived (task is its id into ReplayLog::tasks).
+    Arrive,
+    /// The engine confirmed a Start offer: `task` began on `machine` with
+    /// ground-truth `duration` (the engine's sample — the one input the
+    /// environment owns and the scheduler never reads for decisions).
+    Start,
+    /// `machine`'s running task completed.
+    Finish,
+    /// `machine` failed.
+    Down,
+    /// `machine` recovered.
+    Up,
+    /// Time passed with no task/machine event (stale completion or failure,
+    /// drain-time mapping wakeup).
+    Advance,
+  };
+
+  Kind kind = Kind::Advance;
+  Tick time = 0;
+  TaskId task = -1;
+  MachineId machine = -1;
+  Tick duration = -1;
+};
+
+/// A full environment trace of one engine run: the task table (ids match
+/// trace indices), every callback in order, and the decision stream the
+/// engine-driven kernels emitted. Feeding `events` back through a fresh
+/// OnlineScheduler must reproduce `decisions` bit for bit — the contract
+/// tests/online_replay_test.cpp locks down.
+struct ReplayLog {
+  Trace tasks;
+  std::vector<ReplayEvent> events;
+  std::vector<Decision> decisions;
+};
+
+/// Drives `scheduler` through every event of `log` (pre-registering the
+/// task table first) and returns the concatenated decision stream. The
+/// scheduler must be freshly constructed with the same PET, fleet, mapper,
+/// dropper and config the recording run used.
+std::vector<Decision> replay_decisions(OnlineScheduler& scheduler,
+                                       const ReplayLog& log);
+
+}  // namespace taskdrop

@@ -3,10 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <string>
-
-#include "pet/pet_builder.hpp"
-#include "util/audit.hpp"
 
 namespace taskdrop {
 namespace {
@@ -41,80 +37,55 @@ Engine::Engine(const PetMatrix& pet, std::vector<MachineTypeId> machine_types,
       failure_rng_(config.failures.seed) {
   assert(!machine_type_of_.empty());
   assert(config_.queue_capacity >= 1);
-  if (config_.approx.enabled) {
-    approx_pet_.emplace(scaled_pet(pet_, config_.approx.time_factor));
-  }
 }
 
 void Engine::reset(const Trace& trace) {
-  now_ = 0;
-  deadline_miss_pending_ = false;
-  mapping_events_ = 0;
-  dropper_invocations_ = 0;
   live_tasks_ = static_cast<long long>(trace.size());
   exec_rng_.reseed(config_.exec_seed);
   failure_rng_.reseed(config_.failures.seed);
-  batch_.reset(trace.size());
-  batch_expiry_.clear();
   events_ = EventQueue();
 
-  tasks_.clear();
-  tasks_.reserve(trace.size());
+  OnlineConfig online;
+  online.queue_capacity = config_.queue_capacity;
+  online.engagement = config_.engagement;
+  online.condition_running = config_.condition_running;
+  online.volatile_machines = config_.failures.enabled;
+  online.approx = config_.approx;
+  sched_.emplace(pet_, machine_type_of_, mapper_, dropper_, online);
+  sched_->reserve_tasks(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    Task task;
-    task.id = static_cast<TaskId>(i);
-    task.type = trace[i].type;
-    task.arrival = trace[i].arrival;
-    task.deadline = trace[i].deadline;
-    tasks_.push_back(task);
-    events_.push(task.arrival, EventKind::TaskArrival, task.id);
+    const TaskId id =
+        sched_->register_task(trace[i].type, trace[i].arrival,
+                              trace[i].deadline);
+    events_.push(trace[i].arrival, EventKind::TaskArrival, id);
   }
 
-  machines_.clear();
-  machines_.reserve(machine_type_of_.size());
-  models_.clear();
-  models_.reserve(machine_type_of_.size());
-  for (std::size_t m = 0; m < machine_type_of_.size(); ++m) {
-    machines_.emplace_back(static_cast<MachineId>(m), machine_type_of_[m],
-                           config_.queue_capacity);
+  if (replay_ != nullptr) {
+    replay_->tasks = trace;
+    replay_->events.clear();
+    replay_->decisions.clear();
   }
-  // Models bind to stable storage: machines_ and tasks_ are fully sized by
-  // now and never reallocate during the run.
-  CompletionModel::Options options;
-  options.condition_running = config_.condition_running;
-  options.approx_pet = approx_pet_ ? &*approx_pet_ : nullptr;
-  for (std::size_t m = 0; m < machines_.size(); ++m) {
-    models_.emplace_back(&pet_, &machines_[m], &tasks_, options, &model_ws_);
-  }
-
-  view_ = SystemView{0,
-                     &pet_,
-                     approx_pet_ ? &*approx_pet_ : nullptr,
-                     config_.approx.utility_weight,
-                     &tasks_,
-                     &machines_,
-                     &models_,
-                     &batch_};
 
   if (config_.failures.enabled && live_tasks_ > 0) {
-    for (const Machine& machine : machines_) {
-      schedule_next_failure(machine.id);
+    for (MachineId m = 0; m < static_cast<MachineId>(machine_type_of_.size());
+         ++m) {
+      schedule_next_failure(m, 0);
     }
   }
 }
 
-void Engine::schedule_next_failure(MachineId machine) {
+void Engine::schedule_next_failure(MachineId machine, Tick now) {
   if (!config_.failures.enabled || live_tasks_ <= 0) return;
   const double up_time =
       failure_rng_.exponential(config_.failures.mean_time_between_failures);
-  events_.push(now_ + std::max<Tick>(1, std::llround(up_time)),
+  events_.push(now + std::max<Tick>(1, std::llround(up_time)),
                EventKind::MachineFailure, machine);
 }
 
-void Engine::set_now(Tick now) {
-  now_ = now;
-  view_.now = now;
-  for (CompletionModel& model : models_) model.set_now(now);
+void Engine::record(ReplayEvent::Kind kind, Tick time, TaskId task,
+                    MachineId machine, Tick duration) {
+  if (replay_ == nullptr) return;
+  replay_->events.push_back(ReplayEvent{kind, time, task, machine, duration});
 }
 
 SimResult Engine::run(const Trace& trace) {
@@ -122,288 +93,112 @@ SimResult Engine::run(const Trace& trace) {
 
   while (!events_.empty()) {
     const Event event = events_.pop();
-    set_now(event.time);
+    const Tick t = event.time;
     switch (event.kind) {
-      case EventKind::TaskArrival:
-        handle_arrival(static_cast<TaskId>(event.payload));
+      case EventKind::TaskArrival: {
+        const TaskId task = static_cast<TaskId>(event.payload);
+        record(ReplayEvent::Kind::Arrive, t, task);
+        apply_decisions(t, sched_->task_arrived(t, task));
         break;
-      case EventKind::TaskCompletion:
-        handle_completion(unpack_machine(event.payload),
-                          unpack_token(event.payload));
+      }
+      case EventKind::TaskCompletion: {
+        const MachineId m = unpack_machine(event.payload);
+        const Machine& machine = sched_->machine(m);
+        if (!machine.running || machine.run_token != unpack_token(event.payload)) {
+          // Stale: the run this completion belonged to was interrupted. The
+          // popped event still advances time and triggers a mapping event.
+          record(ReplayEvent::Kind::Advance, t);
+          apply_decisions(t, sched_->advance(t));
+        } else {
+          record(ReplayEvent::Kind::Finish, t, -1, m);
+          apply_decisions(t, sched_->task_finished(t, m));
+        }
         break;
-      case EventKind::MachineFailure:
-        handle_failure(static_cast<MachineId>(event.payload));
+      }
+      case EventKind::MachineFailure: {
+        const MachineId m = static_cast<MachineId>(event.payload);
+        if (!sched_->machine(m).up) {
+          // Already down (stale failure): no repair is scheduled.
+          record(ReplayEvent::Kind::Advance, t);
+          apply_decisions(t, sched_->advance(t));
+        } else {
+          // The repair draw and the recovery push come before the callback;
+          // machine_down itself pushes no events and draws nothing, so the
+          // event sequence numbers match the pre-refactor engine's.
+          const double repair =
+              failure_rng_.exponential(config_.failures.mean_time_to_repair);
+          events_.push(t + std::max<Tick>(1, std::llround(repair)),
+                       EventKind::MachineRecovery, m);
+          record(ReplayEvent::Kind::Down, t, -1, m);
+          apply_decisions(t, sched_->machine_down(t, m));
+        }
         break;
-      case EventKind::MachineRecovery:
-        handle_recovery(static_cast<MachineId>(event.payload));
+      }
+      case EventKind::MachineRecovery: {
+        const MachineId m = static_cast<MachineId>(event.payload);
+        // The next-failure draw reads live_tasks_ before the mapping event
+        // the recovery triggers, matching the pre-refactor order.
+        schedule_next_failure(m, t);
+        record(ReplayEvent::Kind::Up, t, -1, m);
+        apply_decisions(t, sched_->machine_up(t, m));
         break;
-      case EventKind::MappingWakeup:
-        break;  // the mapping event below is the entire point
+      }
+      case EventKind::MappingWakeup: {
+        record(ReplayEvent::Kind::Advance, t);
+        apply_decisions(t, sched_->advance(t));
+        break;
+      }
     }
-    mapping_event();
-    if (events_.empty() && !batch_.empty()) {
+    if (events_.empty() && sched_->unmapped_count() > 0) {
       // A deferring mapper (e.g. PAMD) left unmapped tasks behind and no
       // future event would ever reconsider or expire them. Wake up at the
       // earliest remaining deadline: reactive dropping then retires at
       // least that task, so the simulation always drains. (Batch tasks
       // with passed deadlines were already dropped by this mapping event,
       // so the wakeup time is strictly in the future.)
-      Tick earliest = kNeverTick;
-      for (const TaskId id : batch_) {
-        earliest =
-            std::min(earliest, tasks_[static_cast<std::size_t>(id)].deadline);
-      }
-      events_.push(earliest, EventKind::MappingWakeup, -1);
+      events_.push(sched_->earliest_unmapped_deadline(),
+                   EventKind::MappingWakeup, -1);
     }
   }
 
   SimResult result;
-  result.tasks = std::move(tasks_);
-  result.busy_ticks.reserve(machines_.size());
+  result.busy_ticks.reserve(sched_->machines().size());
   result.machine_types = machine_type_of_;
-  for (const Machine& machine : machines_) {
+  for (const Machine& machine : sched_->machines()) {
     result.busy_ticks.push_back(machine.busy_ticks);
     assert(machine.queue.empty() && "system must drain to idle");
   }
-  result.makespan = now_;
-  result.mapping_events = mapping_events_;
-  result.dropper_invocations = dropper_invocations_;
+  result.makespan = sched_->now();
+  result.mapping_events = sched_->mapping_events();
+  result.dropper_invocations = sched_->dropper_invocations();
+  result.tasks = sched_->take_tasks();
   return result;
 }
 
-void Engine::handle_arrival(TaskId task) {
-  assert(tasks_[static_cast<std::size_t>(task)].state == TaskState::Unmapped);
-  batch_.push_back(task);
-  batch_expiry_.push(tasks_[static_cast<std::size_t>(task)].deadline, task);
-}
-
-void Engine::handle_completion(MachineId machine_id, std::uint32_t token) {
-  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
-  if (!machine.running || machine.run_token != token) {
-    return;  // stale: the run this completion belonged to was interrupted
-  }
-  assert(now_ == machine.run_end);
-  Task& task = tasks_[static_cast<std::size_t>(machine.queue.front())];
-  task.finish_time = now_;
-  if (now_ < task.deadline) {
-    task.state = TaskState::CompletedOnTime;
-  } else {
-    task.state = TaskState::CompletedLate;
-    deadline_miss_pending_ = true;
-  }
-  on_terminal();
-  machine.busy_ticks += now_ - machine.run_start;
-  machine.queue.pop_front();
-  machine.running = false;
-  machine.run_end = kNeverTick;
-  models_[static_cast<std::size_t>(machine_id)].invalidate_all();
-}
-
-void Engine::handle_failure(MachineId machine_id) {
-  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
-  if (!machine.up) return;  // already down (stale failure)
-  machine.up = false;
-  if (machine.running) {
-    Task& task = tasks_[static_cast<std::size_t>(machine.queue.front())];
-    task.state = TaskState::LostToFailure;
-    task.drop_time = now_;
-    on_terminal();
-    // The partially executed time was still paid for.
-    machine.busy_ticks += now_ - machine.run_start;
-    machine.queue.pop_front();
-    machine.running = false;
-    machine.run_end = kNeverTick;
-    ++machine.run_token;  // invalidates the scheduled completion event
-    models_[static_cast<std::size_t>(machine_id)].invalidate_all();
-  }
-  const double repair =
-      failure_rng_.exponential(config_.failures.mean_time_to_repair);
-  events_.push(now_ + std::max<Tick>(1, std::llround(repair)),
-               EventKind::MachineRecovery, machine_id);
-}
-
-void Engine::handle_recovery(MachineId machine_id) {
-  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
-  machine.up = true;
-  schedule_next_failure(machine_id);
-  // start_next runs at the end of the mapping event that follows.
-}
-
-bool Engine::reactive_drop_pass() {
-  bool any = false;
-  for (Machine& machine : machines_) {
-    std::size_t pos = machine.first_pending_pos();
-    while (pos < machine.queue.size()) {
-      Task& task = tasks_[static_cast<std::size_t>(machine.queue[pos])];
-      if (now_ >= task.deadline) {
-        task.state = TaskState::DroppedReactive;
-        task.drop_time = now_;
-        on_terminal();
-        machine.remove_at(pos);
-        models_[static_cast<std::size_t>(machine.id)].invalidate_from(pos);
-        any = true;
-      } else {
-        ++pos;
-      }
+void Engine::apply_decisions(Tick t, const std::vector<Decision>& decisions) {
+  for (const Decision& decision : decisions) {
+    if (decision.kind == DecisionKind::Start) {
+      // Confirm the offer: sample the ground-truth duration (a secret the
+      // scheduler never learns for its decisions) and schedule completion.
+      // Start decisions arrive in machine-ascending order, so the sampling
+      // stream consumes draws exactly as the pre-refactor start loop did.
+      const Task& task = sched_->task(decision.task);
+      const Machine& machine = sched_->machine(decision.machine);
+      const PetMatrix& source = task.approximate && sched_->approx_pet()
+                                    ? *sched_->approx_pet()
+                                    : pet_;
+      const Tick duration =
+          source.sampler(task.type, machine.type).sample(exec_rng_);
+      record(ReplayEvent::Kind::Start, t, decision.task, decision.machine,
+             duration);
+      sched_->task_started(t, decision.machine, decision.task, duration);
+      events_.push(t + duration, EventKind::TaskCompletion,
+                   pack_completion(decision.machine, machine.run_token));
+    } else if (is_terminal(decision.kind)) {
+      --live_tasks_;
     }
+    if (replay_ != nullptr) replay_->decisions.push_back(decision);
   }
-  // Unmapped tasks whose deadlines passed can never start in time either.
-  // The expiry heap hands them over directly; entries whose task was
-  // assigned (and so left the batch) in the meantime are skipped.
-  while (!batch_expiry_.empty() && batch_expiry_.top().first <= now_) {
-    const TaskId id = batch_expiry_.top().second;
-    batch_expiry_.pop();
-    if (!batch_.contains(id)) continue;
-    Task& task = tasks_[static_cast<std::size_t>(id)];
-    task.state = TaskState::DroppedReactive;
-    task.drop_time = now_;
-    on_terminal();
-    batch_.remove(id);
-    any = true;
-  }
-  return any;
-}
-
-void Engine::mapping_event() {
-  ++mapping_events_;
-  bool miss_noticed = deadline_miss_pending_;
-  deadline_miss_pending_ = false;
-  // Step 2 of Fig. 4: reactive drops come first.
-  miss_noticed |= reactive_drop_pass();
-
-  if (config_.engagement == DropperEngagement::EveryMappingEvent ||
-      miss_noticed) {
-    ++dropper_invocations_;
-    dropper_.run(view_, *this);
-  }
-
-  // Step 10 of Fig. 4: the mapping heuristic runs after the dropper.
-  mapper_.map_tasks(view_, *this);
-
-  for (Machine& machine : machines_) start_next(machine);
-
-  if (audit::due(audit_counter_)) audit_batch_coherence();
-}
-
-void Engine::audit_batch_coherence() const {
-  // BatchQueue: forward iteration must visit exactly size() live entries,
-  // every one an Unmapped task that arrived, and the expiry heap must hold
-  // a (deadline, id) entry for each so the lazy reactive pass can never
-  // miss an expiry. The heap may hold stale extras (lazy deletion), but
-  // its backing store must still be a well-formed min-heap.
-  std::size_t seen = 0;
-  for (const TaskId id : batch_) {
-    ++seen;
-    if (!batch_.contains(id)) {
-      audit::fail("batch iteration reached a non-live task " +
-                  std::to_string(id));
-    }
-    const Task& task = tasks_[static_cast<std::size_t>(id)];
-    if (task.state != TaskState::Unmapped) {
-      audit::fail("batch task " + std::to_string(id) +
-                  " is not in state Unmapped");
-    }
-    if (task.arrival > now_) {
-      audit::fail("batch task " + std::to_string(id) +
-                  " has not arrived yet");
-    }
-    if (!batch_expiry_.contains(task.deadline, id)) {
-      audit::fail("batch task " + std::to_string(id) +
-                  " has no expiry-heap entry — it could expire unnoticed");
-    }
-  }
-  if (seen != batch_.size()) {
-    audit::fail("batch size " + std::to_string(batch_.size()) +
-                " disagrees with iteration count " + std::to_string(seen));
-  }
-  if (!batch_expiry_.is_heap()) {
-    audit::fail("expiry heap lost the heap property");
-  }
-}
-
-void Engine::start_next(Machine& machine) {
-  while (machine.up && !machine.running && !machine.queue.empty()) {
-    Task& task = tasks_[static_cast<std::size_t>(machine.queue.front())];
-    if (now_ >= task.deadline) {
-      // Could not start before its deadline: reactive drop (section IV-B).
-      task.state = TaskState::DroppedReactive;
-      task.drop_time = now_;
-      on_terminal();
-      machine.queue.pop_front();
-      models_[static_cast<std::size_t>(machine.id)].invalidate_all();
-      deadline_miss_pending_ = true;
-      continue;
-    }
-    const PetMatrix& source =
-        task.approximate && approx_pet_ ? *approx_pet_ : pet_;
-    const Tick duration =
-        source.sampler(task.type, machine.type).sample(exec_rng_);
-    task.state = TaskState::Running;
-    task.start_time = now_;
-    task.actual_execution = duration;
-    machine.running = true;
-    machine.run_start = now_;
-    machine.run_end = now_ + duration;
-    ++machine.run_token;
-    if (config_.condition_running || config_.failures.enabled) {
-      // Conditioning makes the running PMF depend on `now`; failures can
-      // leave a queue idle across a time gap, so the cached chain may be
-      // rooted at an older base than run_start. Both need the rebuild.
-      models_[static_cast<std::size_t>(machine.id)].invalidate_all();
-    } else {
-      // The cached chain stays valid bit for bit: the head starts at
-      // run_start == now, so its running completion delta(run_start) (x)
-      // exec equals the cached pending chain rooted at base = delta(now)
-      // — the deadline truncation is vacuous because a head with now >=
-      // deadline was reactively dropped above, and an up machine cannot
-      // have sat non-running across a time step (start_next runs at the
-      // end of every mapping event). Keeping the chain saves a full
-      // queue-chain rebuild per task start — the engine's main
-      // convolution source in steady state — while the revision bump
-      // still schedules the droppers' re-examination exactly as the
-      // rebuild used to (see CompletionModel::bump_revision).
-      models_[static_cast<std::size_t>(machine.id)].bump_revision();
-    }
-    events_.push(machine.run_end, EventKind::TaskCompletion,
-                 pack_completion(machine.id, machine.run_token));
-  }
-}
-
-void Engine::assign_task(TaskId task_id, MachineId machine_id) {
-  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
-  Task& task = tasks_[static_cast<std::size_t>(task_id)];
-  assert(task.state == TaskState::Unmapped);
-  assert(machine.has_free_slot());
-  assert(machine.up && "down machines accept no assignments");
-  assert(batch_.contains(task_id) && "task must come from the batch queue");
-  batch_.remove(task_id);
-  task.state = TaskState::Queued;
-  task.machine = machine_id;
-  machine.enqueue(task_id);
-  models_[static_cast<std::size_t>(machine_id)].invalidate_from(
-      machine.queue.size() - 1);
-}
-
-void Engine::drop_queued_task(MachineId machine_id, std::size_t pos) {
-  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
-  assert(pos >= machine.first_pending_pos() && pos < machine.queue.size());
-  Task& task = tasks_[static_cast<std::size_t>(machine.queue[pos])];
-  assert(task.state == TaskState::Queued);
-  task.state = TaskState::DroppedProactive;
-  task.drop_time = now_;
-  on_terminal();
-  machine.remove_at(pos);
-  models_[static_cast<std::size_t>(machine_id)].invalidate_from(pos);
-}
-
-void Engine::downgrade_task(MachineId machine_id, std::size_t pos) {
-  Machine& machine = machines_[static_cast<std::size_t>(machine_id)];
-  assert(pos >= machine.first_pending_pos() && pos < machine.queue.size());
-  Task& task = tasks_[static_cast<std::size_t>(machine.queue[pos])];
-  assert(task.state == TaskState::Queued);
-  if (task.approximate) return;
-  task.approximate = true;
-  models_[static_cast<std::size_t>(machine_id)].invalidate_from(pos);
 }
 
 }  // namespace taskdrop

@@ -1,20 +1,14 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <utility>
 #include <vector>
 
-#include "core/context.hpp"
-#include "core/dropper.hpp"
-#include "pet/pet_matrix.hpp"
-#include "prob/workspace.hpp"
-#include "sched/mapper.hpp"
-#include "sim/batch_queue.hpp"
+#include "online/online_scheduler.hpp"
+#include "online/replay.hpp"
 #include "sim/event_queue.hpp"
-#include "sim/expiry_heap.hpp"
 #include "sim/sim_result.hpp"
+#include "util/rng.hpp"
 #include "workload/trace.hpp"
 
 namespace taskdrop {
@@ -35,17 +29,9 @@ struct FailureModel {
   std::uint64_t seed = 0xFA11;
 };
 
-/// Approximate-computing extension (section VI future work): tasks can be
-/// switched to a degraded-quality variant whose execution PMF is the full
-/// one time-scaled by `time_factor`; an on-time approximate completion
-/// contributes `utility_weight` (vs 1.0) to the utility metric.
-struct ApproxModel {
-  bool enabled = false;
-  double time_factor = 0.5;
-  double utility_weight = 0.5;
-};
-
 /// Engine tuning knobs. Defaults mirror the paper's evaluation setup.
+/// (ApproxModel lives in online/online_scheduler.hpp with the kernel stack
+/// that owns the approximate PET; this header re-exports it.)
 struct EngineConfig {
   /// Machine-queue capacity, running task included (section V-A: six).
   int queue_capacity = 6;
@@ -62,14 +48,16 @@ struct EngineConfig {
 
 /// The online batch-mode resource-allocation simulator of Fig. 1.
 ///
-/// Drives a discrete-event loop over task arrivals and completions. Every
-/// event triggers a mapping event (section III): expired pending tasks are
-/// reactively dropped, the Task Dropper runs (per the engagement policy),
-/// the Mapper assigns unmapped batch-queue tasks to free machine-queue
-/// slots, and idle machines start their queue heads. Ground-truth execution
-/// times are sampled from the same PET PMFs the scheduler reasons over —
-/// the scheduler sees only distributions, never the sampled durations.
-class Engine final : private SchedulerOps {
+/// The engine is the discrete-event driver of the OnlineScheduler kernel
+/// stack: it owns everything the *environment* owns — the event queue, the
+/// ground-truth execution-time sampling stream, and the failure process —
+/// and translates popped events into the scheduler's wall-clock callbacks
+/// (task_arrived / task_finished / machine_down / machine_up / advance).
+/// Start decisions coming back from the scheduler are confirmed immediately
+/// with a sampled ground-truth duration (task_started), which schedules the
+/// matching completion event. The scheduler sees only distributions, never
+/// the sampled durations — exactly the paper's information split.
+class Engine final {
  public:
   /// `pet` must outlive the engine. `machine_types[i]` is machine i's type
   /// (an index into the PET matrix's machine axis).
@@ -83,67 +71,38 @@ class Engine final : private SchedulerOps {
   /// the per-task outcomes. The engine can be reused for further runs.
   SimResult run(const Trace& trace);
 
- private:
-  // SchedulerOps (exposed to the mapper and dropper via SystemView).
-  void assign_task(TaskId task, MachineId machine) override;
-  void drop_queued_task(MachineId machine, std::size_t pos) override;
-  void downgrade_task(MachineId machine, std::size_t pos) override;
+  /// When set, run() records the full environment trace — task table, every
+  /// scheduler callback, every decision — into `log` (cleared first). The
+  /// differential replay suite feeds it back through a fresh
+  /// OnlineScheduler and requires a bit-identical decision stream.
+  void set_replay_log(ReplayLog* log) { replay_ = log; }
 
+ private:
   void reset(const Trace& trace);
-  void handle_arrival(TaskId task);
-  void handle_completion(MachineId machine, std::uint32_t token);
-  void handle_failure(MachineId machine);
-  void handle_recovery(MachineId machine);
-  void mapping_event();
-  /// Drops expired pending tasks (machine queues and batch queue); returns
-  /// true when at least one task was dropped.
-  bool reactive_drop_pass();
-  void start_next(Machine& machine);
-  void set_now(Tick now);
-  /// Marks a terminal transition (bookkeeping for failure-event cutoff).
-  void on_terminal() { --live_tasks_; }
-  void schedule_next_failure(MachineId machine);
-  /// TASKDROP_AUDIT cross-check (sampled from mapping_event): BatchQueue
-  /// link/size/state coherence and expiry-heap coverage of the batch.
-  void audit_batch_coherence() const;
+  /// Confirms the callback's Start offers (sampling ground truth and
+  /// scheduling completions), maintains the live-task count, and records
+  /// the decisions to the replay log.
+  void apply_decisions(Tick t, const std::vector<Decision>& decisions);
+  void schedule_next_failure(MachineId machine, Tick now);
+  void record(ReplayEvent::Kind kind, Tick time, TaskId task = -1,
+              MachineId machine = -1, Tick duration = -1);
 
   const PetMatrix& pet_;
   std::vector<MachineTypeId> machine_type_of_;
   Mapper& mapper_;
   Dropper& dropper_;
   EngineConfig config_;
-  /// Time-scaled PET for approximate-mode tasks (approx extension only).
-  std::optional<PetMatrix> approx_pet_;
 
-  Tick now_ = 0;
-  std::vector<Task> tasks_;
-  std::vector<Machine> machines_;
-  /// Convolution scratch shared by every per-machine completion model (the
-  /// engine is single-threaded, and one buffer keeps the hot chain-rebuild
-  /// loop in cache across machines).
-  PmfWorkspace model_ws_;
-  std::vector<CompletionModel> models_;
-  BatchQueue batch_;
-  /// Unmapped tasks ordered by deadline (lazy deletion: entries whose task
-  /// already left the batch are skipped on pop). The reactive pass used to
-  /// rescan the whole batch every mapping event — O(batch) per event, the
-  /// dominant cost once oversubscription lets thousands of unmapped tasks
-  /// accumulate; with the heap it only ever touches tasks that actually
-  /// expired.
-  ExpiryHeap batch_expiry_;
+  /// The decision kernels. Re-emplaced per run so every trial starts from
+  /// the same clean state reset() used to rebuild in place.
+  std::optional<OnlineScheduler> sched_;
   EventQueue events_;
   Rng exec_rng_;
   Rng failure_rng_;
-  SystemView view_;
-  bool deadline_miss_pending_ = false;
-  long long mapping_events_ = 0;
-  long long dropper_invocations_ = 0;
   /// Tasks not yet in a terminal state; failure events stop being scheduled
   /// once this reaches zero so the simulation always drains.
   long long live_tasks_ = 0;
-  /// Sampling counter for the TASKDROP_AUDIT coherence pass (unused in
-  /// normal builds, where the audit gate folds to constant false).
-  std::uint64_t audit_counter_ = 0;
+  ReplayLog* replay_ = nullptr;
 };
 
 }  // namespace taskdrop

@@ -1,7 +1,10 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace taskdrop {
 
@@ -48,6 +51,21 @@ double ci95_halfwidth(const std::vector<double>& xs) {
   const double s = sample_stddev(xs);
   const double t = t_critical_95(xs.size() - 1);
   return t * s / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile p must be in [0, 100], got " +
+                                std::to_string(p));
+  }
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank =
+      p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
 }
 
 }  // namespace taskdrop

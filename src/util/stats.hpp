@@ -40,4 +40,10 @@ double t_critical_95(std::size_t degrees_of_freedom);
 /// interval are reported", section V-A).
 double ci95_halfwidth(const std::vector<double>& xs);
 
+/// The p-th percentile (p in [0, 100]) of a sample, linearly interpolated
+/// between order statistics (the "linear" / type-7 estimator, matching
+/// numpy's default). Takes `xs` by value because it sorts its copy; 0 for
+/// an empty sample. Throws std::invalid_argument for p outside [0, 100].
+double percentile(std::vector<double> xs, double p);
+
 }  // namespace taskdrop

@@ -9,6 +9,7 @@
 
 #include "core/completion_model.hpp"
 #include "core/proactive_heuristic_dropper.hpp"
+#include "online/online_scheduler.hpp"
 #include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/expiry_heap.hpp"
@@ -149,6 +150,54 @@ TEST(Audit, AuditedRunMatchesUnauditedRun) {
   }
   EXPECT_EQ(audited.makespan, baseline.makespan);
   EXPECT_EQ(audited.busy_ticks, baseline.busy_ticks);
+}
+
+TEST(Audit, AuditedOnlineRunMatchesUnauditedRun) {
+  // Same contract for the callback-driven path: the batch-coherence and
+  // chain cross-checks fire on OnlineScheduler mutations too (the sampled
+  // gates live in the kernels, not in the engine driver), and an audited
+  // live-mode run must stream the exact same decisions.
+  const PetMatrix pet =
+      pet_of({{{{4, 0.5}, {8, 0.3}, {12, 0.2}}}, {{{6, 0.7}, {14, 0.3}}}});
+  const auto run_once = [&] {
+    auto mapper = make_mapper("PAM");
+    ProactiveHeuristicDropper dropper;
+    OnlineConfig config;
+    config.queue_capacity = 3;
+    OnlineScheduler scheduler(pet, {0, 0}, *mapper, dropper, config);
+    std::vector<Decision> all;
+    const auto drive = [&](const std::vector<Decision>& decisions) {
+      all.insert(all.end(), decisions.begin(), decisions.end());
+      for (const Decision& decision : decisions) {
+        if (decision.kind == DecisionKind::Start) {
+          // Deterministic pseudo-ground-truth so both runs see the same
+          // environment: duration keyed off the task id.
+          scheduler.task_started(decision.time, decision.machine,
+                                 decision.task,
+                                 4 + (decision.task % 2) * 2);
+        }
+      }
+    };
+    for (int i = 0; i < 60; ++i) {
+      const Tick t = Tick{i * 2};
+      for (MachineId m = 0; m < 2; ++m) {
+        if (scheduler.machine(m).running && scheduler.machine(m).run_end <= t) {
+          drive(scheduler.task_finished(scheduler.machine(m).run_end, m));
+        }
+      }
+      drive(scheduler.task_arrived(t, static_cast<TaskTypeId>(i % 2),
+                                   t + 25));
+    }
+    return all;
+  };
+  const std::vector<Decision> baseline = run_once();
+  IntervalGuard guard;
+  if (audit::kEnabled) audit::set_interval_for_testing(1);
+  const std::vector<Decision> audited = run_once();
+  ASSERT_EQ(audited.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(audited[i], baseline[i]) << i;
+  }
 }
 
 }  // namespace

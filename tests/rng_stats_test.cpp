@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -128,6 +129,19 @@ TEST(Stats, Ci95HalfwidthKnownExample) {
   EXPECT_NEAR(sample_stddev(xs), std::sqrt(8.0 / 3.0), 1e-12);
   EXPECT_NEAR(ci95_halfwidth(xs),
               3.182 * std::sqrt(8.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(Stats, PercentileInterpolatesOrderStatistics) {
+  // Unsorted on purpose: percentile sorts its copy.
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);  // between 20 and 30
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);  // rank 0.75 -> 10 + .75*10
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 100.5), std::invalid_argument);
 }
 
 }  // namespace

@@ -6,7 +6,7 @@ layering DAG — suites may reach into any layer):
 
 1. *Module layering*: `#include "module/..."` edges must respect the DAG
 
-       util <- prob <- {pet, cost, workload} <- {core, sched, sim}
+       util <- prob <- {pet, cost, workload} <- {core, sched, sim, online}
             <- {metrics, exp} <- {cli, bench, examples}
 
    A module may include its own layer (the sim <-> core <-> sched cycles
@@ -52,6 +52,7 @@ LAYERS = {
     "core": 3,
     "sched": 3,
     "sim": 3,
+    "online": 3,
     "metrics": 4,
     "exp": 4,
     "cli": 5,

@@ -26,11 +26,38 @@
    `--shard=I/N` runs only shard I of the round-robin (cell x trial)
    partition and emits a mergeable JSON document; `merge` reunites all N
    such documents into the report the unsharded sweep would have produced,
-   bit for bit (tools/sweep_shards.sh orchestrates both locally). */
+   bit for bit (tools/sweep_shards.sh orchestrates both locally).
+
+     taskdrop_cli serve --scenario=spec_hc --mapper=PAM --dropper=heuristic \
+                  [--capacity=6] [--seed=42] [--on-deadline-miss] \
+                  [--condition-running] [--volatile] [--approx] \
+                  [--stream=events.stream] [--out=decisions.log] \
+                  [--stats-out=stats.txt]
+
+   `serve` runs the online admission service (src/online) as a daemon: it
+   reads a line-delimited event stream (--stream, default stdin), feeds
+   each event into the OnlineScheduler callback API, confirms every Start
+   recommendation immediately, and emits one decision record per decision
+   to --out (default stdout). The stream protocol (blank lines and
+   #-comments are skipped; timestamps must be non-decreasing):
+
+     arrive <t> <type> <deadline>   a task of PET type <type> arrives
+     finish <t> <machine>           the running task on <machine> completed
+     down <t> <machine>             <machine> failed
+     up <t> <machine>               <machine> recovered
+     advance <t>                    time passed with no event
+
+   On shutdown (EOF) a summary — events, decisions, drop rate,
+   decisions/sec and p50/p99 per-event decision latency, kernel time only —
+   goes to --stats-out (default stderr), so the decision log stays
+   byte-deterministic for golden diffing (tools/serve_smoke.sh). */
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -38,8 +65,10 @@
 #include "exp/experiment.hpp"
 #include "exp/sweep.hpp"
 #include "metrics/report.hpp"
+#include "online/online_scheduler.hpp"
 #include "util/flags.hpp"
 #include "util/spec_parser.hpp"
+#include "util/stats.hpp"
 #include "workload/scenario_registry.hpp"
 #include "workload/trace_io.hpp"
 
@@ -322,6 +351,277 @@ int run_merge_command(const Flags& flags,
   });
 }
 
+/// One parsed line of the serve event stream.
+struct StreamEvent {
+  enum class Kind { Arrive, Finish, Down, Up, Advance } kind;
+  Tick t = 0;
+  long long a = 0;  ///< type (arrive) or machine (finish/down/up)
+  long long b = 0;  ///< deadline (arrive only)
+};
+
+/// Parses one non-empty, non-comment stream line; throws with the token
+/// that failed (the caller prefixes the line number).
+StreamEvent parse_stream_event(const std::string& line) {
+  std::istringstream in(line);
+  std::string op;
+  in >> op;
+  StreamEvent event;
+  int operands = 0;
+  if (op == "arrive") {
+    event.kind = StreamEvent::Kind::Arrive;
+    operands = 3;
+  } else if (op == "finish") {
+    event.kind = StreamEvent::Kind::Finish;
+    operands = 2;
+  } else if (op == "down") {
+    event.kind = StreamEvent::Kind::Down;
+    operands = 2;
+  } else if (op == "up") {
+    event.kind = StreamEvent::Kind::Up;
+    operands = 2;
+  } else if (op == "advance") {
+    event.kind = StreamEvent::Kind::Advance;
+    operands = 1;
+  } else {
+    throw std::invalid_argument(
+        "unknown event '" + op +
+        "' (available: arrive, finish, down, up, advance)");
+  }
+  long long fields[3] = {0, 0, 0};
+  for (int i = 0; i < operands; ++i) {
+    if (!(in >> fields[i])) {
+      throw std::invalid_argument("event '" + op + "' needs " +
+                                  std::to_string(operands) +
+                                  " integer operand(s)");
+    }
+  }
+  std::string trailing;
+  if (in >> trailing) {
+    throw std::invalid_argument("trailing token '" + trailing +
+                                "' after event '" + op + "'");
+  }
+  event.t = fields[0];
+  event.a = fields[1];
+  event.b = fields[2];
+  return event;
+}
+
+int run_serve_command(const Flags& flags) {
+  static const std::vector<std::string> kServeOptions = {
+      "scenario", "mapper",   "dropper",          "eta",
+      "beta",     "threshold", "static-threshold", "capacity",
+      "seed",     "on-deadline-miss", "condition-running", "volatile",
+      "approx",   "stream",   "out",              "stats-out",
+      "full"};
+  for (const std::string& key : flags.keys()) {
+    if (std::find(kServeOptions.begin(), kServeOptions.end(), key) ==
+        kServeOptions.end()) {
+      throw std::invalid_argument("unknown serve flag: --" + key +
+                                  " (options: " +
+                                  join_spec_list(kServeOptions) + ")");
+    }
+  }
+
+  const ScenarioKind kind =
+      scenario_from_name(flags.get("scenario", "spec_hc"));
+  const Scenario scenario = make_scenario(
+      kind, static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+  auto mapper = make_mapper(flags.get("mapper", "PAM"));
+  const DropperConfig dropper_config = dropper_from_flags(flags);
+  auto dropper = make_dropper(dropper_config);
+
+  OnlineConfig config;
+  config.queue_capacity = static_cast<int>(flags.get_int("capacity", 6));
+  if (flags.get_bool("on-deadline-miss")) {
+    config.engagement = DropperEngagement::OnDeadlineMiss;
+  }
+  config.condition_running = flags.get_bool("condition-running");
+  config.volatile_machines = flags.get_bool("volatile");
+  if (flags.get_bool("approx") ||
+      dropper_config.kind == DropperConfig::Kind::Approx) {
+    config.approx.enabled = true;
+  }
+  OnlineScheduler scheduler(scenario.pet, scenario.profile.machine_types,
+                            *mapper, *dropper, config);
+  const auto machine_count =
+      static_cast<long long>(scenario.profile.machine_types.size());
+  const auto type_count =
+      static_cast<long long>(scenario.pet.task_type_count());
+
+  std::ifstream stream_file;
+  std::istream* events = &std::cin;
+  if (flags.has("stream") && flags.get("stream", "") != "-") {
+    stream_file.open(flags.get("stream", ""));
+    if (!stream_file) {
+      throw std::runtime_error("cannot read " + flags.get("stream", ""));
+    }
+    events = &stream_file;
+  }
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (flags.has("out")) {
+    out_file.open(flags.get("out", ""));
+    if (!out_file) {
+      throw std::runtime_error("cannot write " + flags.get("out", ""));
+    }
+    out = &out_file;
+  }
+  std::ofstream stats_file;
+  std::ostream* stats = &std::cerr;
+  if (flags.has("stats-out")) {
+    stats_file.open(flags.get("stats-out", ""));
+    if (!stats_file) {
+      throw std::runtime_error("cannot write " + flags.get("stats-out", ""));
+    }
+    stats = &stats_file;
+  }
+
+  // The daemon plays the environment side of the callback contract: every
+  // Start recommendation is confirmed immediately (live mode, no
+  // ground-truth duration), so machines are running from the decision's
+  // own timestamp on.
+  const auto confirm_starts = [&](Tick t,
+                                  const std::vector<Decision>& decisions) {
+    for (const Decision& decision : decisions) {
+      if (decision.kind == DecisionKind::Start) {
+        scheduler.task_started(t, decision.machine, decision.task);
+      }
+    }
+  };
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> latency_ns;  // one sample per stream event
+  long long events_seen = 0;
+  long long decisions_out = 0;
+  long long arrivals = 0;
+  long long drops_proactive = 0, drops_reactive = 0, drops_expired = 0;
+
+  std::string line;
+  long long line_no = 0;
+  while (std::getline(*events, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    try {
+      const StreamEvent event = parse_stream_event(line);
+      const auto machine = [&]() -> MachineId {
+        if (event.a < 0 || event.a >= machine_count) {
+          throw std::invalid_argument(
+              "machine " + std::to_string(event.a) + " out of range [0, " +
+              std::to_string(machine_count) + ")");
+        }
+        return static_cast<MachineId>(event.a);
+      };
+
+      // Time the decision kernels only (callback + immediate start
+      // confirmations); log I/O happens outside the clock so the latency
+      // percentiles describe the admission service, not the disk.
+      const Clock::time_point begin = Clock::now();
+      const std::vector<Decision>* decisions = nullptr;
+      switch (event.kind) {
+        case StreamEvent::Kind::Arrive: {
+          if (event.a < 0 || event.a >= type_count) {
+            throw std::invalid_argument(
+                "task type " + std::to_string(event.a) +
+                " out of range [0, " + std::to_string(type_count) + ")");
+          }
+          ++arrivals;
+          decisions = &scheduler.task_arrived(
+              event.t, static_cast<TaskTypeId>(event.a), event.b);
+          break;
+        }
+        case StreamEvent::Kind::Finish: {
+          const MachineId m = machine();
+          if (!scheduler.machine(m).running) {
+            throw std::invalid_argument("machine " + std::to_string(m) +
+                                        " has no running task to finish");
+          }
+          decisions = &scheduler.task_finished(event.t, m);
+          break;
+        }
+        case StreamEvent::Kind::Down: {
+          const MachineId m = machine();
+          if (!scheduler.machine(m).up) {
+            throw std::invalid_argument("machine " + std::to_string(m) +
+                                        " is already down");
+          }
+          decisions = &scheduler.machine_down(event.t, m);
+          break;
+        }
+        case StreamEvent::Kind::Up: {
+          const MachineId m = machine();
+          if (scheduler.machine(m).up) {
+            throw std::invalid_argument("machine " + std::to_string(m) +
+                                        " is already up");
+          }
+          decisions = &scheduler.machine_up(event.t, m);
+          break;
+        }
+        case StreamEvent::Kind::Advance:
+          decisions = &scheduler.advance(event.t);
+          break;
+      }
+      confirm_starts(event.t, *decisions);
+      const Clock::time_point end = Clock::now();
+
+      ++events_seen;
+      latency_ns.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+              .count()));
+      for (const Decision& decision : *decisions) {
+        ++decisions_out;
+        switch (decision.kind) {
+          case DecisionKind::DropProactive: ++drops_proactive; break;
+          case DecisionKind::DropReactive: ++drops_reactive; break;
+          case DecisionKind::ExpireUnmapped: ++drops_expired; break;
+          default: break;
+        }
+        *out << decision << '\n';
+      }
+    } catch (const std::exception& error) {
+      throw std::runtime_error("stream line " + std::to_string(line_no) +
+                               ": " + error.what());
+    }
+  }
+  out->flush();
+
+  const double kernel_ns =
+      std::accumulate(latency_ns.begin(), latency_ns.end(), 0.0);
+  const long long drops = drops_proactive + drops_reactive + drops_expired;
+  *stats << "serve: scenario=" << to_string(kind)
+         << " mapper=" << flags.get("mapper", "PAM")
+         << " dropper=" << dropper_config.name()
+         << " machines=" << machine_count
+         << " capacity=" << config.queue_capacity << "\n"
+         << "events=" << events_seen << " decisions=" << decisions_out
+         << " arrivals=" << arrivals << " drops=" << drops
+         << " (proactive=" << drops_proactive
+         << " reactive=" << drops_reactive << " expired=" << drops_expired
+         << ")\n"
+         << "drop_rate=" << format_fixed(
+                arrivals > 0 ? 100.0 * static_cast<double>(drops) /
+                                   static_cast<double>(arrivals)
+                             : 0.0, 2)
+         << "% of arrivals\n"
+         << "kernel_time_ms=" << format_fixed(kernel_ns / 1e6, 3)
+         << " decisions_per_sec=" << format_fixed(
+                kernel_ns > 0.0
+                    ? static_cast<double>(decisions_out) * 1e9 / kernel_ns
+                    : 0.0, 0)
+         << "\n"
+         << "event_latency_us: p50=" << format_fixed(
+                percentile(latency_ns, 50.0) / 1e3, 3)
+         << " p99=" << format_fixed(percentile(latency_ns, 99.0) / 1e3, 3)
+         << " max=" << format_fixed(
+                latency_ns.empty()
+                    ? 0.0
+                    : *std::max_element(latency_ns.begin(),
+                                        latency_ns.end()) / 1e3, 3)
+         << "\n";
+  stats->flush();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,6 +634,7 @@ int main(int argc, char** argv) {
         (argc > 1 && argv[1][0] != '-') ? argv[1] : "run";
     if (command == "run") return run_single(flags);
     if (command == "sweep") return run_sweep_command(flags);
+    if (command == "serve") return run_serve_command(flags);
     if (command == "merge") {
       // Shard files are the bare (non-flag) tokens after the subcommand.
       std::vector<std::string> files;
@@ -343,7 +644,7 @@ int main(int argc, char** argv) {
       return run_merge_command(flags, files);
     }
     throw std::invalid_argument("unknown command: " + command +
-                                " (available: run, sweep, merge)");
+                                " (available: run, sweep, merge, serve)");
   } catch (const std::exception& error) {
     std::cerr << "taskdrop_cli: " << error.what() << "\n";
     return 1;
