@@ -7,11 +7,14 @@
 // convolutions; the dropper sees every queue on both events).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/proactive_heuristic_dropper.hpp"
 #include "online/online_scheduler.hpp"
+#include "online/snapshot.hpp"
 #include "sched/registry.hpp"
 #include "workload/scenario.hpp"
 
@@ -64,6 +67,54 @@ void BM_OnlineSteadyState(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);  // mapping events
 }
 BENCHMARK(BM_OnlineSteadyState)->RangeMultiplier(2)->Range(8, 64);
+
+/// Snapshot/restore round trip at a given fleet backlog: one iteration
+/// serializes a warm scheduler and restores the text into a fresh kernel
+/// stack — the price of one checkpoint plus one cold resume of the
+/// admission daemon. Derived state (completion chains) rebuilds lazily
+/// after restore, so this measures the serialization path itself.
+void BM_OnlineSnapshotRoundTrip(benchmark::State& state) {
+  const int backlog = static_cast<int>(state.range(0));
+  const Scenario& scn = scenario();
+  auto mapper = make_mapper("PAM");
+  ProactiveHeuristicDropper dropper;
+  OnlineConfig config;
+  config.queue_capacity = 6;
+  OnlineScheduler scheduler(scn.pet, scn.profile.machine_types, *mapper,
+                            dropper, config);
+
+  const Tick slack = 1 << 28;
+  Tick now = 0;
+  TaskTypeId next_type = 0;
+  for (int i = 0; i < backlog; ++i) {
+    ++now;
+    const auto& decisions =
+        scheduler.task_arrived(now, next_type, now + slack);
+    for (const Decision& decision : decisions) {
+      if (decision.kind == DecisionKind::Start) {
+        scheduler.task_started(now, decision.machine, decision.task);
+      }
+    }
+    next_type = static_cast<TaskTypeId>(
+        (next_type + 1) % scn.pet.task_type_count());
+  }
+
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string snapshot = snapshot_to_string(scheduler);
+    bytes = snapshot.size();
+    auto fresh_mapper = make_mapper("PAM");
+    ProactiveHeuristicDropper fresh_dropper;
+    OnlineScheduler restored(scn.pet, scn.profile.machine_types,
+                             *fresh_mapper, fresh_dropper, config);
+    restore_from_string(restored, snapshot);
+    benchmark::DoNotOptimize(restored.now());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_OnlineSnapshotRoundTrip)->RangeMultiplier(4)->Range(16, 256);
 
 }  // namespace
 

@@ -15,6 +15,7 @@ std::string_view to_string(DecisionKind kind) {
     case DecisionKind::FinishOnTime: return "finish_on_time";
     case DecisionKind::FinishLate: return "finish_late";
     case DecisionKind::LostToFailure: return "lost_to_failure";
+    case DecisionKind::ShedOverload: return "shed_overload";
   }
   return "?";
 }

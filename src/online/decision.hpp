@@ -40,6 +40,10 @@ enum class DecisionKind : std::uint8_t {
   FinishLate,
   /// The task was executing when its machine went down.
   LostToFailure,
+  /// Overload shedding (OnlineConfig::shed): the admission valve refused
+  /// the arrival because the backlog watermark was crossed; the task never
+  /// entered the batch queue.
+  ShedOverload,
 };
 
 std::string_view to_string(DecisionKind kind);
@@ -52,7 +56,8 @@ constexpr bool is_terminal(DecisionKind kind) {
          kind == DecisionKind::ExpireUnmapped ||
          kind == DecisionKind::FinishOnTime ||
          kind == DecisionKind::FinishLate ||
-         kind == DecisionKind::LostToFailure;
+         kind == DecisionKind::LostToFailure ||
+         kind == DecisionKind::ShedOverload;
 }
 
 struct Decision {

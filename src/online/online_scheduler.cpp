@@ -81,6 +81,38 @@ void OnlineScheduler::advance_clock(Tick t) {
   for (CompletionModel& model : models_) model.set_now(t);
 }
 
+std::size_t OnlineScheduler::pending_backlog() const {
+  std::size_t backlog = batch_.size();
+  for (const Machine& machine : machines_) backlog += machine.pending_count();
+  return backlog;
+}
+
+bool OnlineScheduler::should_shed() const {
+  const ShedPolicy& shed = config_.shed;
+  if (!shed.active()) return false;
+  if (shed.total_pending_watermark > 0 &&
+      pending_backlog() >=
+          static_cast<std::size_t>(shed.total_pending_watermark)) {
+    return true;
+  }
+  if (shed.machine_backlog_watermark > 0) {
+    // Shed only when no up machine has headroom below the watermark — a
+    // single lightly loaded machine is enough to admit. A fleet with no up
+    // machine at all counts as fully backlogged.
+    bool any_headroom = false;
+    for (const Machine& machine : machines_) {
+      if (machine.up &&
+          machine.pending_count() <
+              static_cast<std::size_t>(shed.machine_backlog_watermark)) {
+        any_headroom = true;
+        break;
+      }
+    }
+    if (!any_headroom) return true;
+  }
+  return false;
+}
+
 Tick OnlineScheduler::earliest_unmapped_deadline() const {
   Tick earliest = kNeverTick;
   for (const TaskId id : batch_) {
@@ -110,6 +142,17 @@ const std::vector<Decision>& OnlineScheduler::task_arrived(Tick t,
   Task& task = tasks_[static_cast<std::size_t>(task_id)];
   assert(task.state == TaskState::Unmapped);
   assert(task.arrival <= t && "announced before its registered arrival");
+  if (should_shed()) {
+    // Admission refused: the task never enters the batch queue. The
+    // arrival still triggers a mapping event (expiries must not wait for
+    // the next admitted task), so the valve changes admission only.
+    task.state = TaskState::DroppedProactive;
+    task.drop_time = now_;
+    ++shed_count_;
+    emit(DecisionKind::ShedOverload, task_id, -1);
+    mapping_event();
+    return decisions_;
+  }
   batch_.push_back(task_id);
   batch_expiry_.push(task.deadline, task_id);
   mapping_event();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -32,6 +33,37 @@ struct ApproxModel {
   double utility_weight = 0.5;
 };
 
+/// Overload-shedding admission valve. Both watermarks default to 0 =
+/// disabled, so an unconfigured scheduler admits everything and the
+/// decision stream is bit-identical to the pre-shedding implementation
+/// (the serve golden and the differential replay suite rely on this).
+///
+/// When active, an arrival is shed — refused admission with a single
+/// ShedOverload decision, never entering the batch queue — if, at the
+/// moment of arrival:
+///
+///   * `total_pending_watermark` > 0 and the aggregate backlog (unmapped
+///     batch tasks plus queued-but-not-running tasks across all machines)
+///     is already at or above it, or
+///   * `machine_backlog_watermark` > 0 and every up machine's pending
+///     backlog is already at or above it (no machine has headroom; a fleet
+///     with no up machine at all counts as fully backlogged).
+///
+/// Shedding is evaluated before admission, so the watermark bounds the
+/// backlog the decision kernels ever have to chew through — the dropper
+/// as a pressure valve, applied at the front door.
+struct ShedPolicy {
+  /// Aggregate pending-work watermark; 0 disables the aggregate check.
+  int total_pending_watermark = 0;
+  /// Per-machine pending-backlog watermark; 0 disables the per-machine
+  /// check.
+  int machine_backlog_watermark = 0;
+
+  bool active() const {
+    return total_pending_watermark > 0 || machine_backlog_watermark > 0;
+  }
+};
+
 /// Tuning knobs of the online admission service. Defaults mirror the
 /// paper's evaluation setup (and EngineConfig, which maps onto this).
 struct OnlineConfig {
@@ -48,6 +80,8 @@ struct OnlineConfig {
   /// which forces the conservative chain rebuild on task starts.
   bool volatile_machines = false;
   ApproxModel approx;
+  /// Overload shedding; inactive by default (see ShedPolicy).
+  ShedPolicy shed;
 };
 
 /// The paper's decision kernels — mapper + dropper + per-machine
@@ -159,6 +193,11 @@ class OnlineScheduler final : public SchedulerOps {
   Tick earliest_unmapped_deadline() const;
   long long mapping_events() const { return mapping_events_; }
   long long dropper_invocations() const { return dropper_invocations_; }
+  /// Arrivals refused by the overload-shedding valve (ShedOverload).
+  long long shed_count() const { return shed_count_; }
+  /// The shedding valve's aggregate load signal: unmapped batch tasks plus
+  /// queued-but-not-running tasks across all machines.
+  std::size_t pending_backlog() const;
   /// The time-scaled PET of the approximate-computing extension (null when
   /// disabled). Environments sample approximate tasks' ground truth here.
   const PetMatrix* approx_pet() const {
@@ -169,6 +208,27 @@ class OnlineScheduler final : public SchedulerOps {
   /// The scheduler must not be used afterwards, only destroyed.
   std::vector<Task> take_tasks() { return std::move(tasks_); }
 
+  /// Writes a deterministic, versioned text serialization of the full
+  /// scheduler state (task table, machine queues, batch queue, advisory
+  /// offers, clock, counters, config echo, mapper state) — see
+  /// online/snapshot.hpp for the format and the round-trip contract.
+  /// Implemented in snapshot.cpp.
+  void snapshot(std::ostream& out) const;
+
+  /// Restores a snapshot into this scheduler. The scheduler must be
+  /// freshly constructed — no callbacks issued yet — with the same PET,
+  /// fleet, config, mapper and dropper the snapshotted instance had (the
+  /// snapshot's config echo is validated against this instance; a fresh
+  /// mapper/dropper stack is required because their skip-memoisation keys
+  /// reference the old process's model revisions). Throws
+  /// std::invalid_argument on a malformed snapshot, a config mismatch, or
+  /// a non-fresh scheduler; the scheduler is unusable after a failed
+  /// restore. Completion chains are not serialized: they are derived state,
+  /// rebuilt on demand bit-identically to the incremental originals
+  /// (tests/completion_incremental_test.cpp locks rebuild ≡ incremental).
+  /// Implemented in snapshot.cpp.
+  void restore(std::istream& in);
+
   // SchedulerOps — the mutation interface the mapper and dropper act
   // through during a mapping event. Public for parity with SystemSandbox;
   // calling these outside a mapping event breaks the decision stream.
@@ -178,6 +238,8 @@ class OnlineScheduler final : public SchedulerOps {
 
  private:
   void advance_clock(Tick t);
+  /// True when the shedding valve (config_.shed) refuses this arrival.
+  bool should_shed() const;
   void mapping_event();
   /// Drops expired pending tasks (machine queues and batch queue); returns
   /// true when at least one task was dropped.
@@ -218,6 +280,7 @@ class OnlineScheduler final : public SchedulerOps {
   bool deadline_miss_pending_ = false;
   long long mapping_events_ = 0;
   long long dropper_invocations_ = 0;
+  long long shed_count_ = 0;
   /// Decision stream of the current callback (reused storage).
   std::vector<Decision> decisions_;
   /// Sampling counter for the TASKDROP_AUDIT coherence pass (unused in

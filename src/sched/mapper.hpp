@@ -1,5 +1,7 @@
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -15,6 +17,25 @@ class Mapper {
   virtual ~Mapper() = default;
   virtual std::string_view name() const = 0;
   virtual void map_tasks(SystemView& view, SchedulerOps& ops) = 0;
+
+  /// Decision-relevant state the mapper carries across mapping events,
+  /// rendered as one whitespace-free token for the online snapshot
+  /// subsystem (online/snapshot.hpp). Most mappers are stateless between
+  /// events (their scratch vectors and skip-memos are derived state) and
+  /// return "" — only state that changes future decisions belongs here
+  /// (e.g. RoundRobinMapper's cyclic dealing position).
+  virtual std::string snapshot_state() const { return {}; }
+
+  /// Restores a token produced by snapshot_state. The default accepts only
+  /// the empty token: handing non-empty state to a stateless mapper means
+  /// the snapshot was taken with a different mapper.
+  virtual void restore_state(const std::string& state) {
+    if (!state.empty()) {
+      throw std::invalid_argument("mapper " + std::string(name()) +
+                                  " carries no cross-event state, got '" +
+                                  state + "'");
+    }
+  }
 };
 
 namespace mapper_detail {

@@ -1,6 +1,29 @@
 #include "sched/round_robin.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace taskdrop {
+
+std::string RoundRobinMapper::snapshot_state() const {
+  return std::to_string(next_machine_);
+}
+
+void RoundRobinMapper::restore_state(const std::string& state) {
+  std::size_t consumed = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(state, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed == 0 || consumed != state.size()) {
+    throw std::invalid_argument("RR mapper state must be a non-negative "
+                                "integer dealing position, got '" +
+                                state + "'");
+  }
+  next_machine_ = static_cast<std::size_t>(value);
+}
 
 void RoundRobinMapper::map_tasks(SystemView& view, SchedulerOps& ops) {
   const std::size_t machine_count = view.machines->size();

@@ -17,6 +17,12 @@ class RoundRobinMapper final : public Mapper {
   std::string_view name() const override { return "RR"; }
   void map_tasks(SystemView& view, SchedulerOps& ops) override;
 
+  /// The cyclic dealing position is genuine cross-event state: two RR
+  /// mappers with different positions deal the next task differently, so
+  /// it must survive a snapshot/restore round trip.
+  std::string snapshot_state() const override;
+  void restore_state(const std::string& state) override;
+
  private:
   int window_;
   std::size_t next_machine_ = 0;

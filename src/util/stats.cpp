@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -54,18 +55,55 @@ double ci95_halfwidth(const std::vector<double>& xs) {
 }
 
 double percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted(xs, p);
+}
+
+double percentile_sorted(const std::vector<double>& sorted_xs, double p) {
   if (p < 0.0 || p > 100.0) {
     throw std::invalid_argument("percentile p must be in [0, 100], got " +
                                 std::to_string(p));
   }
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
+  assert(std::is_sorted(sorted_xs.begin(), sorted_xs.end()) &&
+         "percentile_sorted requires ascending input");
+  if (sorted_xs.empty()) return 0.0;
   const double rank =
-      p / 100.0 * static_cast<double>(xs.size() - 1);
+      p / 100.0 * static_cast<double>(sorted_xs.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  if (lo + 1 >= xs.size()) return xs.back();
+  if (lo + 1 >= sorted_xs.size()) return sorted_xs.back();
   const double frac = rank - static_cast<double>(lo);
-  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+  return sorted_xs[lo] + frac * (sorted_xs[lo + 1] - sorted_xs[lo]);
+}
+
+LatencyReservoir::LatencyReservoir(std::size_t capacity)
+    : capacity_(capacity + capacity % 2) {
+  if (capacity < 2) {
+    throw std::invalid_argument(
+        "LatencyReservoir capacity must be >= 2, got " +
+        std::to_string(capacity));
+  }
+  samples_.reserve(capacity_);
+}
+
+void LatencyReservoir::add(double x) {
+  const std::size_t index = count_;
+  ++count_;
+  total_ += x;
+  if (x > max_) max_ = x;
+  if (index % stride_ != 0) return;
+  if (samples_.size() == capacity_) {
+    // Compact to every second sample and double the stride. Kept indices
+    // were k*stride for k in [0, capacity); keeping even k leaves
+    // m*(2*stride) for m in [0, capacity/2) — and the incoming index,
+    // capacity*stride, lies on the new lattice because capacity is even.
+    for (std::size_t i = 0; 2 * i < samples_.size(); ++i) {
+      samples_[i] = samples_[2 * i];
+    }
+    samples_.resize(capacity_ / 2);
+    stride_ *= 2;
+    if (index % stride_ != 0) return;
+  }
+  samples_.push_back(x);
 }
 
 }  // namespace taskdrop

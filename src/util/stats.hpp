@@ -46,4 +46,53 @@ double ci95_halfwidth(const std::vector<double>& xs);
 /// an empty sample. Throws std::invalid_argument for p outside [0, 100].
 double percentile(std::vector<double> xs, double p);
 
+/// percentile() for a sample that is already sorted ascending: no copy, no
+/// re-sort. A caller extracting several percentiles (p50/p99/...) sorts
+/// once and calls this per quantile instead of paying one full sort per
+/// call. The input must be sorted (asserted in debug builds); same p
+/// validation and empty-sample behaviour as percentile().
+double percentile_sorted(const std::vector<double>& sorted_xs, double p);
+
+/// Bounded, deterministic sample reservoir for unbounded streams — the
+/// shutdown-latency sample of a long-running `taskdrop_cli serve` daemon
+/// must not grow by one double per event forever.
+///
+/// Up to `capacity` observations the reservoir is exact: every sample is
+/// kept in arrival order and percentiles over samples() equal percentiles
+/// over the full stream. Beyond capacity it degrades deterministically by
+/// stride doubling: the buffer is compacted to every second sample and
+/// from then on only every stride-th observation is admitted, so the
+/// buffer holds an evenly strided subsample of the stream (indices
+/// 0, stride, 2*stride, ...), always in [capacity/2, capacity]. No RNG is
+/// involved — two identical streams yield bit-identical reservoirs.
+/// count/total/max are always exact (maintained outside the buffer).
+class LatencyReservoir {
+ public:
+  /// `capacity` is rounded up to the next even number (stride doubling
+  /// halves the buffer, so an odd capacity would drift off the stride
+  /// lattice); must be >= 2.
+  explicit LatencyReservoir(std::size_t capacity = 4096);
+
+  void add(double x);
+
+  /// Total observations (exact).
+  std::size_t count() const { return count_; }
+  /// Sum of all observations (exact).
+  double total() const { return total_; }
+  /// Largest observation; 0 before the first add (exact).
+  double max() const { return max_; }
+  /// Kept subsample in arrival order (exact iff stride() == 1).
+  const std::vector<double>& samples() const { return samples_; }
+  /// Current admission stride; 1 while the reservoir is still exact.
+  std::size_t stride() const { return stride_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t stride_ = 1;
+  std::size_t count_ = 0;
+  double total_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+};
+
 }  // namespace taskdrop

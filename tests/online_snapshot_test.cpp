@@ -1,0 +1,436 @@
+#include "online/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/null_dropper.hpp"
+#include "online/online_scheduler.hpp"
+#include "sched/registry.hpp"
+#include "sched/round_robin.hpp"
+#include "test_util.hpp"
+
+namespace taskdrop {
+namespace {
+
+using test::pet_of;
+
+/// 2 task types x 2 machine types with asymmetric deterministic costs, so
+/// mapping decisions actually depend on machine/type identity.
+PetMatrix serve_pet() {
+  return pet_of({{{{4, 1.0}}, {{7, 1.0}}}, {{{6, 1.0}}, {{3, 1.0}}}});
+}
+
+/// Live-mode serve harness: 3 machines (types 0, 1, 0), pluggable mapper.
+/// Mirrors the CLI daemon: every Start offer is confirmed immediately.
+struct ServeFixture {
+  PetMatrix pet = serve_pet();
+  std::unique_ptr<Mapper> mapper;
+  std::unique_ptr<Dropper> dropper;
+  OnlineScheduler scheduler;
+
+  explicit ServeFixture(const std::string& mapper_name,
+                        OnlineConfig config = {})
+      : mapper(make_mapper(mapper_name)),
+        dropper(make_dropper(DropperConfig::heuristic())),
+        scheduler(pet, {0, 1, 0}, *mapper, *dropper, config) {}
+};
+
+struct Ev {
+  enum Kind { Arrive, Finish, Down, Up, Advance };
+  Kind kind;
+  Tick t;
+  long long a = 0;  // arrive: task type; finish/down/up: machine id
+  Tick b = 0;       // arrive: deadline
+};
+
+/// Feeds one event, confirms Start offers immediately (live mode), and
+/// returns the decision stream rendered exactly as the CLI daemon logs it.
+std::string apply(OnlineScheduler& scheduler, const Ev& event) {
+  const std::vector<Decision>* decisions = nullptr;
+  switch (event.kind) {
+    case Ev::Arrive:
+      decisions = &scheduler.task_arrived(
+          event.t, static_cast<TaskTypeId>(event.a), event.b);
+      break;
+    case Ev::Finish:
+      decisions =
+          &scheduler.task_finished(event.t, static_cast<MachineId>(event.a));
+      break;
+    case Ev::Down:
+      decisions =
+          &scheduler.machine_down(event.t, static_cast<MachineId>(event.a));
+      break;
+    case Ev::Up:
+      decisions =
+          &scheduler.machine_up(event.t, static_cast<MachineId>(event.a));
+      break;
+    case Ev::Advance:
+      decisions = &scheduler.advance(event.t);
+      break;
+  }
+  std::ostringstream out;
+  for (const Decision& decision : *decisions) out << decision << '\n';
+  for (const Decision& decision : *decisions) {
+    if (decision.kind == DecisionKind::Start) {
+      scheduler.task_started(event.t, decision.machine, decision.task);
+    }
+  }
+  return out.str();
+}
+
+/// Generates a valid event script by probing a scheduler as it goes: a mix
+/// of arrivals (both types, some with tight deadlines that expire), a
+/// machine failure/recovery, finishes of whichever machine is running, and
+/// idle advances. The script is then replayed verbatim against fresh
+/// schedulers — validity (finish only on a running machine) is guaranteed
+/// because the kernels are deterministic.
+std::vector<Ev> make_script(const std::string& mapper_name,
+                            const OnlineConfig& config) {
+  ServeFixture probe(mapper_name, config);
+  std::vector<Ev> script;
+  Tick t = 0;
+  const auto push = [&](Ev event) {
+    script.push_back(event);
+    apply(probe.scheduler, event);
+  };
+  for (int i = 0; i < 40; ++i) {
+    t += 2;
+    if (i == 13) {
+      push({Ev::Down, t, 1, 0});
+      continue;
+    }
+    if (i == 21) {
+      push({Ev::Up, t, 1, 0});
+      continue;
+    }
+    if (i % 3 == 2) {
+      MachineId running = -1;
+      for (const Machine& machine : probe.scheduler.machines()) {
+        if (machine.running) {
+          running = machine.id;
+          break;
+        }
+      }
+      if (running >= 0) {
+        push({Ev::Finish, t, running, 0});
+        continue;
+      }
+    }
+    if (i % 7 == 6) {
+      push({Ev::Advance, t, 0, 0});
+      continue;
+    }
+    // Alternate task types; every fourth deadline is tight enough to
+    // expire, so the reactive pass fires and the expiry heap has content.
+    push({Ev::Arrive, t, i % 2, t + (i % 4 == 3 ? 3 : 25)});
+  }
+  return script;
+}
+
+std::string run_full(const std::vector<Ev>& script,
+                     const std::string& mapper_name,
+                     const OnlineConfig& config) {
+  ServeFixture fx(mapper_name, config);
+  std::string out;
+  for (const Ev& event : script) out += apply(fx.scheduler, event);
+  return out;
+}
+
+/// Runs `script[0..split)`, snapshots, restores into an entirely fresh
+/// kernel stack (new mapper, new dropper, new scheduler), and finishes the
+/// script there — the kill-and-resume scenario.
+std::string run_split(const std::vector<Ev>& script, std::size_t split,
+                      const std::string& mapper_name,
+                      const OnlineConfig& config) {
+  ServeFixture first(mapper_name, config);
+  std::string out;
+  for (std::size_t i = 0; i < split; ++i) {
+    out += apply(first.scheduler, script[i]);
+  }
+  const std::string snapshot = snapshot_to_string(first.scheduler);
+  ServeFixture second(mapper_name, config);
+  restore_from_string(second.scheduler, snapshot);
+  for (std::size_t i = split; i < script.size(); ++i) {
+    out += apply(second.scheduler, script[i]);
+  }
+  return out;
+}
+
+OnlineConfig volatile_config() {
+  OnlineConfig config;
+  config.queue_capacity = 3;
+  config.volatile_machines = true;
+  return config;
+}
+
+TEST(OnlineSnapshot, EverySplitPointResumesByteIdentically) {
+  const OnlineConfig config = volatile_config();
+  const std::vector<Ev> script = make_script("PAM", config);
+  const std::string uninterrupted = run_full(script, "PAM", config);
+  ASSERT_FALSE(uninterrupted.empty());
+  for (std::size_t split = 0; split <= script.size(); ++split) {
+    EXPECT_EQ(run_split(script, split, "PAM", config), uninterrupted)
+        << "divergence when killed after event " << split;
+  }
+}
+
+TEST(OnlineSnapshot, RoundRobinMapperStateSurvivesResume) {
+  // RR is the one stock mapper with genuine cross-event state (the cyclic
+  // dealing position); a restore that lost it would re-deal from machine 0
+  // and shift every subsequent assignment.
+  const OnlineConfig config = volatile_config();
+  const std::vector<Ev> script = make_script("RR", config);
+  const std::string uninterrupted = run_full(script, "RR", config);
+  for (std::size_t split = 0; split <= script.size(); split += 5) {
+    EXPECT_EQ(run_split(script, split, "RR", config), uninterrupted)
+        << "divergence when killed after event " << split;
+  }
+}
+
+TEST(OnlineSnapshot, SheddingConfigAndCounterSurviveResume) {
+  OnlineConfig config = volatile_config();
+  config.shed.total_pending_watermark = 2;
+  const std::vector<Ev> script = make_script("PAM", config);
+  const std::string uninterrupted = run_full(script, "PAM", config);
+  // The valve must actually have fired for this test to mean anything.
+  ASSERT_NE(uninterrupted.find("shed_overload"), std::string::npos);
+  for (std::size_t split = 0; split <= script.size(); split += 3) {
+    EXPECT_EQ(run_split(script, split, "PAM", config), uninterrupted)
+        << "divergence when killed after event " << split;
+  }
+}
+
+TEST(OnlineSnapshot, SnapshotIsDeterministic) {
+  ServeFixture fx("PAM");
+  fx.scheduler.task_arrived(0, 0, 100);
+  fx.scheduler.task_arrived(2, 1, 50);
+  EXPECT_EQ(snapshot_to_string(fx.scheduler),
+            snapshot_to_string(fx.scheduler));
+}
+
+TEST(OnlineSnapshot, CountersAndClockSurviveRoundTrip) {
+  ServeFixture fx("PAM", volatile_config());
+  std::string ignored;
+  ignored += apply(fx.scheduler, {Ev::Arrive, 1, 0, 30});
+  ignored += apply(fx.scheduler, {Ev::Arrive, 4, 1, 40});
+  ignored += apply(fx.scheduler, {Ev::Advance, 9, 0, 0});
+  const std::string snapshot = snapshot_to_string(fx.scheduler);
+
+  ServeFixture restored("PAM", volatile_config());
+  restore_from_string(restored.scheduler, snapshot);
+  EXPECT_EQ(restored.scheduler.now(), fx.scheduler.now());
+  EXPECT_EQ(restored.scheduler.task_count(), fx.scheduler.task_count());
+  EXPECT_EQ(restored.scheduler.mapping_events(),
+            fx.scheduler.mapping_events());
+  EXPECT_EQ(restored.scheduler.dropper_invocations(),
+            fx.scheduler.dropper_invocations());
+  EXPECT_EQ(restored.scheduler.unmapped_count(),
+            fx.scheduler.unmapped_count());
+  EXPECT_EQ(restored.scheduler.pending_backlog(),
+            fx.scheduler.pending_backlog());
+  // And the restored instance re-snapshots to the identical bytes.
+  EXPECT_EQ(snapshot_to_string(restored.scheduler), snapshot);
+}
+
+TEST(OnlineSnapshot, RestoreRejectsNonFreshScheduler) {
+  ServeFixture source("PAM");
+  source.scheduler.task_arrived(0, 0, 100);
+  const std::string snapshot = snapshot_to_string(source.scheduler);
+
+  ServeFixture target("PAM");
+  target.scheduler.task_arrived(0, 0, 100);  // no longer fresh
+  EXPECT_THROW(restore_from_string(target.scheduler, snapshot),
+               std::invalid_argument);
+}
+
+TEST(OnlineSnapshot, RestoreRejectsConfigMismatch) {
+  ServeFixture source("PAM");
+  const std::string snapshot = snapshot_to_string(source.scheduler);
+
+  OnlineConfig other;
+  other.queue_capacity = 4;  // snapshot echoes the default 6
+  ServeFixture target("PAM", other);
+  EXPECT_THROW(restore_from_string(target.scheduler, snapshot),
+               std::invalid_argument);
+}
+
+TEST(OnlineSnapshot, RestoreRejectsMapperMismatch) {
+  ServeFixture source("PAM");
+  const std::string snapshot = snapshot_to_string(source.scheduler);
+  ServeFixture target("FCFS");
+  EXPECT_THROW(restore_from_string(target.scheduler, snapshot),
+               std::invalid_argument);
+}
+
+TEST(OnlineSnapshot, RestoreRejectsDifferentPet) {
+  ServeFixture source("PAM");
+  const std::string snapshot = snapshot_to_string(source.scheduler);
+
+  // Same shape, different cell content: only the fingerprint can tell.
+  PetMatrix other_pet =
+      pet_of({{{{5, 1.0}}, {{7, 1.0}}}, {{{6, 1.0}}, {{3, 1.0}}}});
+  auto mapper = make_mapper("PAM");
+  NullDropper dropper;
+  OnlineScheduler target(other_pet, {0, 1, 0}, *mapper, dropper);
+  EXPECT_THROW(restore_from_string(target, snapshot),
+               std::invalid_argument);
+}
+
+TEST(OnlineSnapshot, RestoreRejectsTruncatedSnapshot) {
+  ServeFixture source("PAM");
+  source.scheduler.task_arrived(0, 0, 100);
+  const std::string snapshot = snapshot_to_string(source.scheduler);
+  for (const std::size_t cut : {std::size_t{0}, snapshot.size() / 4,
+                                snapshot.size() / 2, snapshot.size() - 2}) {
+    ServeFixture target("PAM");
+    EXPECT_THROW(
+        restore_from_string(target.scheduler, snapshot.substr(0, cut)),
+        std::invalid_argument)
+        << "truncation at byte " << cut << " was accepted";
+  }
+}
+
+TEST(OnlineSnapshot, RestoreRejectsGarbage) {
+  ServeFixture target("PAM");
+  EXPECT_THROW(restore_from_string(target.scheduler, "not a snapshot\n"),
+               std::invalid_argument);
+}
+
+TEST(OnlineSnapshot, FingerprintSeparatesPets) {
+  const PetMatrix a = serve_pet();
+  const PetMatrix b =
+      pet_of({{{{5, 1.0}}, {{7, 1.0}}}, {{{6, 1.0}}, {{3, 1.0}}}});
+  EXPECT_EQ(pet_fingerprint(a), pet_fingerprint(serve_pet()));
+  EXPECT_NE(pet_fingerprint(a), pet_fingerprint(b));
+}
+
+TEST(RoundRobinState, RoundTripAndValidation) {
+  RoundRobinMapper mapper;
+  EXPECT_EQ(mapper.snapshot_state(), "0");
+  mapper.restore_state("7");
+  EXPECT_EQ(mapper.snapshot_state(), "7");
+  EXPECT_THROW(mapper.restore_state("abc"), std::invalid_argument);
+  EXPECT_THROW(mapper.restore_state(""), std::invalid_argument);
+}
+
+TEST(MapperState, StatelessMapperRejectsForeignState) {
+  auto mapper = make_mapper("FCFS");
+  EXPECT_EQ(mapper->snapshot_state(), "");
+  mapper->restore_state("");  // no state: fine
+  EXPECT_THROW(mapper->restore_state("3"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Overload shedding semantics (the admission valve itself).
+
+TEST(OnlineShed, DisabledByDefaultAdmitsEverything) {
+  ServeFixture fx("PAM");
+  for (Tick t = 0; t < 20; ++t) fx.scheduler.task_arrived(t, 0, t + 100);
+  EXPECT_EQ(fx.scheduler.shed_count(), 0);
+}
+
+TEST(OnlineShed, TotalWatermarkShedsAtThreshold) {
+  OnlineConfig config;
+  config.shed.total_pending_watermark = 1;
+  ServeFixture fx("PAM", config);
+  // First arrival: backlog 0 < 1 — admitted (assigned, Start offered, left
+  // unconfirmed so it stays pending).
+  const auto& first = fx.scheduler.task_arrived(0, 0, 100);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first[0].kind, DecisionKind::Assign);
+  EXPECT_EQ(fx.scheduler.pending_backlog(), 1u);
+  // Second arrival: backlog 1 >= 1 — shed, never enters the batch.
+  const auto& second = fx.scheduler.task_arrived(1, 0, 100);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].kind, DecisionKind::ShedOverload);
+  EXPECT_EQ(second[0].task, 1);
+  EXPECT_EQ(second[0].machine, -1);
+  EXPECT_EQ(fx.scheduler.task(1).state, TaskState::DroppedProactive);
+  EXPECT_EQ(fx.scheduler.task(1).drop_time, 1);
+  EXPECT_EQ(fx.scheduler.shed_count(), 1);
+  EXPECT_EQ(fx.scheduler.unmapped_count(), 0u);
+}
+
+TEST(OnlineShed, MachineWatermarkShedsOnlyWhenNoMachineHasHeadroom) {
+  // Single machine, greedy FCFS mapping (no deferral), so queue occupancy
+  // is fully hand-computable.
+  PetMatrix pet = pet_of({{{{5, 1.0}}}});
+  auto mapper = make_mapper("FCFS");
+  NullDropper dropper;
+  OnlineConfig config;
+  config.shed.machine_backlog_watermark = 1;
+  OnlineScheduler scheduler(pet, {0}, *mapper, dropper, config);
+
+  // First arrival runs (confirmed): pending 0, headroom remains.
+  const auto& first = scheduler.task_arrived(0, 0, 200);
+  for (const Decision& decision : first) {
+    if (decision.kind == DecisionKind::Start) {
+      scheduler.task_started(0, decision.machine, decision.task);
+    }
+  }
+  // Second arrival queues behind the running head: pending becomes 1.
+  scheduler.task_arrived(1, 0, 200);
+  ASSERT_EQ(scheduler.machine(0).pending_count(), 1u);
+  ASSERT_EQ(scheduler.shed_count(), 0);
+  // Third arrival: the only machine is at the watermark — shed.
+  const auto& third = scheduler.task_arrived(2, 0, 200);
+  ASSERT_FALSE(third.empty());
+  EXPECT_EQ(third[0].kind, DecisionKind::ShedOverload);
+  EXPECT_EQ(scheduler.shed_count(), 1);
+  // A finish promotes the queued task to the head: headroom returns and
+  // the next arrival is admitted again.
+  const auto& after_finish = scheduler.task_finished(5, 0);
+  for (const Decision& decision : after_finish) {
+    if (decision.kind == DecisionKind::Start) {
+      scheduler.task_started(5, decision.machine, decision.task);
+    }
+  }
+  const auto& fourth = scheduler.task_arrived(6, 0, 200);
+  ASSERT_FALSE(fourth.empty());
+  EXPECT_EQ(fourth[0].kind, DecisionKind::Assign);
+  EXPECT_EQ(scheduler.shed_count(), 1);
+}
+
+TEST(OnlineShed, FleetFullyDownCountsAsBacklogged) {
+  OnlineConfig config;
+  config.volatile_machines = true;
+  config.shed.machine_backlog_watermark = 5;
+  ServeFixture fx("PAM", config);
+  for (MachineId m = 0; m < 3; ++m) fx.scheduler.machine_down(0, m);
+  const auto& decisions = fx.scheduler.task_arrived(1, 0, 100);
+  ASSERT_FALSE(decisions.empty());
+  EXPECT_EQ(decisions[0].kind, DecisionKind::ShedOverload);
+}
+
+TEST(OnlineShed, ShedArrivalStillRunsTheMappingEvent) {
+  OnlineConfig config;
+  config.shed.total_pending_watermark = 1;
+  ServeFixture fx("PAM", config);
+  // An unconfirmed pending task whose deadline passes before the next
+  // arrival: the shed arrival's mapping event must still expire it.
+  fx.scheduler.task_arrived(0, 0, 5);
+  const auto& decisions = fx.scheduler.task_arrived(10, 0, 100);
+  ASSERT_GE(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].kind, DecisionKind::ShedOverload);
+  bool dropped_stale = false;
+  for (const Decision& decision : decisions) {
+    if (decision.task == 0 && is_terminal(decision.kind)) {
+      dropped_stale = true;
+    }
+  }
+  EXPECT_TRUE(dropped_stale);
+}
+
+TEST(OnlineShed, ShedOverloadIsTerminal) {
+  EXPECT_TRUE(is_terminal(DecisionKind::ShedOverload));
+  EXPECT_EQ(std::string(to_string(DecisionKind::ShedOverload)),
+            "shed_overload");
+}
+
+}  // namespace
+}  // namespace taskdrop

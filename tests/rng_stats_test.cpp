@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -142,6 +144,97 @@ TEST(Stats, PercentileInterpolatesOrderStatistics) {
   EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
   EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
   EXPECT_THROW(percentile(xs, 100.5), std::invalid_argument);
+}
+
+TEST(Stats, PercentileSortedAgreesWithPercentile) {
+  const std::vector<double> xs = {30.0, 10.0, 40.0, 20.0, 25.0, 10.0};
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double p : {0.0, 12.5, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, p), percentile(xs, p)) << p;
+  }
+}
+
+TEST(Stats, PercentileSortedEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 50.0), 0.0);
+  // n=1: every percentile is the sample.
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 100.0), 7.0);
+  // p=0 / p=100 pin to min / max without interpolation.
+  const std::vector<double> sorted = {1.0, 2.0, 4.0, 8.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100.0), 8.0);
+  // Ties: interpolation across equal values stays on the tied value.
+  const std::vector<double> tied = {5.0, 5.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(tied, 25.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(tied, 50.0), 5.0);
+  EXPECT_THROW(percentile_sorted(sorted, -0.001), std::invalid_argument);
+  EXPECT_THROW(percentile_sorted(sorted, 100.001), std::invalid_argument);
+}
+
+TEST(Reservoir, ExactBelowCapacity) {
+  LatencyReservoir reservoir(8);
+  std::vector<double> fed;
+  for (int i = 0; i < 8; ++i) {
+    const double x = static_cast<double>(10 * i + 1);
+    reservoir.add(x);
+    fed.push_back(x);
+  }
+  EXPECT_EQ(reservoir.stride(), 1u);
+  EXPECT_EQ(reservoir.count(), 8u);
+  EXPECT_EQ(reservoir.samples(), fed);
+  EXPECT_DOUBLE_EQ(reservoir.max(), 71.0);
+  double total = 0.0;
+  for (const double x : fed) total += x;
+  EXPECT_DOUBLE_EQ(reservoir.total(), total);
+}
+
+TEST(Reservoir, StrideDoublingKeepsAnEvenlyStridedSubsample) {
+  LatencyReservoir reservoir(4);
+  for (int i = 0; i < 10; ++i) reservoir.add(static_cast<double>(i));
+  // Indices kept: 0..3 exactly; the 5th add compacts to {0, 2} (stride 2)
+  // and admits 4; the 9th compacts to {0, 4} (stride 4) and admits 8.
+  EXPECT_EQ(reservoir.stride(), 4u);
+  EXPECT_EQ(reservoir.samples(), (std::vector<double>{0.0, 4.0, 8.0}));
+  // count/total/max stay exact across compactions.
+  EXPECT_EQ(reservoir.count(), 10u);
+  EXPECT_DOUBLE_EQ(reservoir.total(), 45.0);
+  EXPECT_DOUBLE_EQ(reservoir.max(), 9.0);
+}
+
+TEST(Reservoir, OddCapacityRoundsUpToEven) {
+  // Capacity 5 behaves as 6: six exact samples, then compaction to three.
+  LatencyReservoir reservoir(5);
+  for (int i = 0; i < 7; ++i) reservoir.add(static_cast<double>(i));
+  EXPECT_EQ(reservoir.stride(), 2u);
+  EXPECT_EQ(reservoir.samples(), (std::vector<double>{0.0, 2.0, 4.0, 6.0}));
+}
+
+TEST(Reservoir, DeterministicAcrossIdenticalStreams) {
+  LatencyReservoir a(16), b(16);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>((i * 37) % 101);
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+  EXPECT_EQ(a.stride(), b.stride());
+  EXPECT_DOUBLE_EQ(a.total(), b.total());
+}
+
+TEST(Reservoir, BufferStaysBounded) {
+  LatencyReservoir reservoir(16);
+  for (int i = 0; i < 100000; ++i) reservoir.add(1.0);
+  EXPECT_LE(reservoir.samples().size(), 16u);
+  EXPECT_GE(reservoir.samples().size(), 8u);
+  EXPECT_EQ(reservoir.count(), 100000u);
+  EXPECT_DOUBLE_EQ(reservoir.total(), 100000.0);
+}
+
+TEST(Reservoir, TinyCapacityRejected) {
+  EXPECT_THROW(LatencyReservoir(0), std::invalid_argument);
+  EXPECT_THROW(LatencyReservoir(1), std::invalid_argument);
 }
 
 }  // namespace

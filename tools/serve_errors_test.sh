@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# Serve error-path regression suite (ctest + CI): every malformed stream
+# line must fail with a line-numbered message, the shutdown stats summary
+# must survive error teardown, and --on-error=skip must recover — emitting
+# a structured error record while later decisions and the stats stay
+# intact. Also covers CLI flag validation (negative --seed, bogus
+# --on-error).
+#
+#   tools/serve_errors_test.sh <taskdrop_cli>
+set -euo pipefail
+
+cli=${1:?usage: serve_errors_test.sh <taskdrop_cli>}
+
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+
+serve_args=(--scenario=spec_hc --mapper=PAM --dropper=heuristic --volatile)
+fails=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  fails=$((fails + 1))
+}
+
+# expect_abort <name> <expected-stderr-substring> <<< stream
+# Runs serve in abort mode on the stream from stdin; requires exit 1, the
+# line-numbered message on stderr, and a non-empty stats summary.
+expect_abort() {
+  local name=$1 expected=$2
+  local dir="$tmp_dir/$name"
+  mkdir -p "$dir"
+  cat > "$dir/events.stream"
+  local status=0
+  "$cli" serve "${serve_args[@]}" --stream="$dir/events.stream" \
+      --out="$dir/decisions.log" --stats-out="$dir/stats.txt" \
+      2> "$dir/stderr.txt" || status=$?
+  [[ $status -eq 1 ]] || fail "$name: expected exit 1, got $status"
+  grep -qF -- "$expected" "$dir/stderr.txt" ||
+      fail "$name: stderr missing '$expected' (got: $(cat "$dir/stderr.txt"))"
+  grep -q "^serve:" "$dir/stats.txt" ||
+      fail "$name: stats summary was not emitted on error teardown"
+}
+
+expect_abort machine_out_of_range \
+    "stream line 2: machine 99 out of range [0, 8)" <<'EOF'
+arrive 0 0 50
+finish 1 99
+EOF
+
+expect_abort type_out_of_range \
+    "stream line 1: task type 99 out of range [0," <<'EOF'
+arrive 0 99 50
+EOF
+
+expect_abort finish_on_idle \
+    "stream line 1: machine 3 has no running task to finish" <<'EOF'
+finish 0 3
+EOF
+
+expect_abort down_on_down \
+    "stream line 3: machine 1 is already down" <<'EOF'
+arrive 0 0 50
+down 1 1
+down 2 1
+EOF
+
+expect_abort up_on_up \
+    "stream line 1: machine 1 is already up" <<'EOF'
+up 0 1
+EOF
+
+expect_abort non_monotone \
+    "stream line 2: time went backwards: t=5 < now=10" <<'EOF'
+advance 10
+advance 5
+EOF
+
+expect_abort unknown_event \
+    "stream line 1: unknown event 'frobnicate'" <<'EOF'
+frobnicate 1 2
+EOF
+
+# --on-error=skip: the same stream with one bad line in the middle must
+# exit 0, log a structured error record in place, produce the identical
+# decision records otherwise, and count the skip in the stats.
+skip_dir="$tmp_dir/skip"
+mkdir -p "$skip_dir"
+cat > "$skip_dir/clean.stream" <<'EOF'
+arrive 0 0 60
+arrive 2 1 80
+advance 10
+arrive 12 2 90
+advance 30
+EOF
+sed '3a finish 10 99' "$skip_dir/clean.stream" > "$skip_dir/broken.stream"
+
+"$cli" serve "${serve_args[@]}" --stream="$skip_dir/clean.stream" \
+    --out="$skip_dir/clean.log" --stats-out="$skip_dir/clean_stats.txt"
+"$cli" serve "${serve_args[@]}" --on-error=skip \
+    --stream="$skip_dir/broken.stream" \
+    --out="$skip_dir/broken.log" --stats-out="$skip_dir/broken_stats.txt" ||
+    fail "skip: expected exit 0 on a skipped line"
+grep -qF 'error t=10 line=4 msg="machine 99 out of range [0, 8)"' \
+    "$skip_dir/broken.log" ||
+    fail "skip: structured error record missing from the decision log"
+grep -v '^error ' "$skip_dir/broken.log" > "$skip_dir/broken_filtered.log"
+diff "$skip_dir/clean.log" "$skip_dir/broken_filtered.log" ||
+    fail "skip: decisions after the bad line diverged from the clean run"
+grep -q "^lines_skipped=1$" "$skip_dir/broken_stats.txt" ||
+    fail "skip: stats did not count the skipped line"
+
+# In abort mode the same broken stream must stop at the bad line.
+status=0
+"$cli" serve "${serve_args[@]}" --stream="$skip_dir/broken.stream" \
+    --out=/dev/null --stats-out=/dev/null 2> "$skip_dir/abort_stderr.txt" ||
+    status=$?
+[[ $status -eq 1 ]] || fail "abort: expected exit 1, got $status"
+grep -qF "stream line 4: machine 99 out of range" \
+    "$skip_dir/abort_stderr.txt" || fail "abort: line-numbered message missing"
+
+# Flag validation: negative seeds and bogus --on-error are rejected before
+# any stream is read, for serve and run alike.
+expect_flag_error() {
+  local name=$1 expected=$2
+  shift 2
+  local status=0
+  "$cli" "$@" > /dev/null 2> "$tmp_dir/$name.stderr" || status=$?
+  [[ $status -eq 1 ]] || fail "$name: expected exit 1, got $status"
+  grep -qF -- "$expected" "$tmp_dir/$name.stderr" ||
+      fail "$name: stderr missing '$expected'"
+}
+
+expect_flag_error serve_negative_seed "--seed must be non-negative, got -1" \
+    serve "${serve_args[@]}" --seed=-1 --stream=/dev/null
+expect_flag_error run_negative_seed "--seed must be non-negative, got -7" \
+    --scenario=spec_hc --mapper=PAM --dropper=heuristic --tasks=100 \
+    --trials=1 --seed=-7
+expect_flag_error bad_on_error "--on-error must be abort or skip, got 'x'" \
+    serve "${serve_args[@]}" --on-error=x --stream=/dev/null
+expect_flag_error negative_watermark \
+    "--shed-watermark must be a non-negative int, got -3" \
+    serve "${serve_args[@]}" --shed-watermark=-3 --stream=/dev/null
+expect_flag_error missing_restore "cannot read /nonexistent/snap" \
+    serve "${serve_args[@]}" --restore=/nonexistent/snap --stream=/dev/null
+
+if [[ $fails -ne 0 ]]; then
+  echo "serve errors test: $fails check(s) failed" >&2
+  exit 1
+fi
+echo "serve errors test OK: all error paths line-numbered, stats survive" \
+     "teardown, skip mode recovers"

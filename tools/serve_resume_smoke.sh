@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke (ctest + CI): run the canned event stream halfway,
+# snapshot the daemon, restore the snapshot into a brand-new process, feed
+# it the remainder, and require the two decision logs concatenated to be
+# byte-identical to the uninterrupted run's committed golden — the
+# survivability contract of the online admission service.
+#
+#   tools/serve_resume_smoke.sh <taskdrop_cli> <events.stream> <decisions.golden>
+set -euo pipefail
+
+cli=${1:?usage: serve_resume_smoke.sh <taskdrop_cli> <events.stream> <decisions.golden>}
+stream=${2:?usage: serve_resume_smoke.sh <taskdrop_cli> <events.stream> <decisions.golden>}
+golden=${3:?usage: serve_resume_smoke.sh <taskdrop_cli> <events.stream> <decisions.golden>}
+
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+
+# Split at a line boundary halfway through the stream. The daemon confirms
+# every Start offer immediately, so its state after N lines is exactly its
+# mid-stream state — a split is equivalent to a kill at that point.
+total=$(wc -l < "$stream")
+half=$((total / 2))
+head -n "$half" "$stream" > "$tmp_dir/part1.stream"
+tail -n +"$((half + 1))" "$stream" > "$tmp_dir/part2.stream"
+
+serve_args=(--scenario=spec_hc --mapper=PAM --dropper=heuristic --volatile)
+
+"$cli" serve "${serve_args[@]}" --stream="$tmp_dir/part1.stream" \
+    --out="$tmp_dir/dec1.log" --stats-out="$tmp_dir/stats1.txt" \
+    --snapshot-out="$tmp_dir/snapshot.txt"
+"$cli" serve "${serve_args[@]}" --stream="$tmp_dir/part2.stream" \
+    --out="$tmp_dir/dec2.log" --stats-out="$tmp_dir/stats2.txt" \
+    --restore="$tmp_dir/snapshot.txt"
+
+cat "$tmp_dir/dec1.log" "$tmp_dir/dec2.log" > "$tmp_dir/resumed.log"
+diff "$golden" "$tmp_dir/resumed.log"
+
+# The snapshot must also restore-and-resnapshot to identical bytes.
+"$cli" serve "${serve_args[@]}" --stream=/dev/null \
+    --out=/dev/null --stats-out=/dev/null \
+    --restore="$tmp_dir/snapshot.txt" --snapshot-out="$tmp_dir/snapshot2.txt"
+diff "$tmp_dir/snapshot.txt" "$tmp_dir/snapshot2.txt"
+
+echo "serve resume smoke OK: killed after $half/$total lines," \
+     "resumed log is byte-identical to $(basename "$golden")"

@@ -31,8 +31,10 @@
      taskdrop_cli serve --scenario=spec_hc --mapper=PAM --dropper=heuristic \
                   [--capacity=6] [--seed=42] [--on-deadline-miss] \
                   [--condition-running] [--volatile] [--approx] \
-                  [--stream=events.stream] [--out=decisions.log] \
-                  [--stats-out=stats.txt]
+                  [--shed-watermark=N] [--shed-machine-backlog=N] \
+                  [--on-error=abort|skip] [--restore=snap.txt] \
+                  [--snapshot-out=snap.txt] [--stream=events.stream] \
+                  [--out=decisions.log] [--stats-out=stats.txt]
 
    `serve` runs the online admission service (src/online) as a daemon: it
    reads a line-delimited event stream (--stream, default stdin), feeds
@@ -47,16 +49,42 @@
      up <t> <machine>               <machine> recovered
      advance <t>                    time passed with no event
 
-   On shutdown (EOF) a summary — events, decisions, drop rate,
+   Robustness knobs (all off by default so the decision log stays
+   byte-identical to earlier builds):
+
+     --shed-watermark=N          shed arrivals once the aggregate pending
+                                 backlog reaches N (ShedOverload records)
+     --shed-machine-backlog=N    shed once every up machine has >= N
+                                 pending tasks
+     --on-error=abort|skip       abort (default): first bad line ends the
+                                 run, exit 1 — deterministic for goldens.
+                                 skip: emit a structured
+                                 `error t=.. line=.. msg=".."` record to
+                                 the decision log and keep serving; bad
+                                 lines never mutate scheduler state.
+     --snapshot-out=F            write a versioned text snapshot of full
+                                 scheduler state at clean shutdown
+     --restore=F                 restore a snapshot before reading the
+                                 stream (same scenario/mapper/dropper
+                                 flags required; validated). A daemon
+                                 killed mid-stream and restored continues
+                                 with a byte-identical decision stream.
+
+   On shutdown (EOF) a summary — events, decisions, drop/shed rates,
    decisions/sec and p50/p99 per-event decision latency, kernel time only —
    goes to --stats-out (default stderr), so the decision log stays
-   byte-deterministic for golden diffing (tools/serve_smoke.sh). */
+   byte-deterministic for golden diffing (tools/serve_smoke.sh). The
+   summary is emitted on *every* exit path, error teardown included; the
+   per-event latency sample is a bounded deterministic reservoir (exact up
+   to 8192 events, evenly strided subsample beyond), so a long-running
+   daemon's memory stays bounded. */
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <fstream>
 #include <functional>
 #include <iostream>
-#include <numeric>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -94,6 +122,18 @@ bool handle_list_flags(const Flags& flags) {
   return handled;
 }
 
+/// Seeds feed Rng::derive as unsigned 64-bit values; a bare static_cast
+/// would silently wrap a negative --seed into a huge unrelated seed, so
+/// reject negatives up front instead.
+std::uint64_t seed_from_flags(const Flags& flags) {
+  const long long seed = flags.get_int("seed", 42);
+  if (seed < 0) {
+    throw std::invalid_argument("--seed must be non-negative, got " +
+                                std::to_string(seed));
+  }
+  return static_cast<std::uint64_t>(seed);
+}
+
 /// Dropper construction for `run`: only explicitly set flags become
 /// from_spec parameters, so registry defaults stay in one place.
 DropperConfig dropper_from_flags(const Flags& flags) {
@@ -118,7 +158,7 @@ int run_single(const Flags& flags) {
   }
   config.queue_capacity = static_cast<int>(flags.get_int("capacity", 6));
   config.trials = static_cast<int>(flags.get_int("trials", 8));
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  config.seed = seed_from_flags(flags);
   if (flags.get_bool("failures")) {
     config.failures.enabled = true;
     config.failures.mean_time_between_failures =
@@ -406,12 +446,25 @@ StreamEvent parse_stream_event(const std::string& line) {
   return event;
 }
 
+/// Validates a non-negative int-ranged serve flag (shed watermarks).
+int nonnegative_int_flag(const Flags& flags, const char* name) {
+  const long long value = flags.get_int(name, 0);
+  if (value < 0 || value > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("--" + std::string(name) +
+                                " must be a non-negative int, got " +
+                                std::to_string(value));
+  }
+  return static_cast<int>(value);
+}
+
 int run_serve_command(const Flags& flags) {
   static const std::vector<std::string> kServeOptions = {
       "scenario", "mapper",   "dropper",          "eta",
       "beta",     "threshold", "static-threshold", "capacity",
       "seed",     "on-deadline-miss", "condition-running", "volatile",
       "approx",   "stream",   "out",              "stats-out",
+      "shed-watermark", "shed-machine-backlog", "on-error",
+      "snapshot-out", "restore",
       "full"};
   for (const std::string& key : flags.keys()) {
     if (std::find(kServeOptions.begin(), kServeOptions.end(), key) ==
@@ -421,11 +474,16 @@ int run_serve_command(const Flags& flags) {
                                   join_spec_list(kServeOptions) + ")");
     }
   }
+  const std::string on_error = flags.get("on-error", "abort");
+  if (on_error != "abort" && on_error != "skip") {
+    throw std::invalid_argument("--on-error must be abort or skip, got '" +
+                                on_error + "'");
+  }
+  const bool skip_bad_lines = on_error == "skip";
 
   const ScenarioKind kind =
       scenario_from_name(flags.get("scenario", "spec_hc"));
-  const Scenario scenario = make_scenario(
-      kind, static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+  const Scenario scenario = make_scenario(kind, seed_from_flags(flags));
   auto mapper = make_mapper(flags.get("mapper", "PAM"));
   const DropperConfig dropper_config = dropper_from_flags(flags);
   auto dropper = make_dropper(dropper_config);
@@ -441,12 +499,28 @@ int run_serve_command(const Flags& flags) {
       dropper_config.kind == DropperConfig::Kind::Approx) {
     config.approx.enabled = true;
   }
+  config.shed.total_pending_watermark =
+      nonnegative_int_flag(flags, "shed-watermark");
+  config.shed.machine_backlog_watermark =
+      nonnegative_int_flag(flags, "shed-machine-backlog");
   OnlineScheduler scheduler(scenario.pet, scenario.profile.machine_types,
                             *mapper, *dropper, config);
   const auto machine_count =
       static_cast<long long>(scenario.profile.machine_types.size());
   const auto type_count =
       static_cast<long long>(scenario.pet.task_type_count());
+
+  // Resurrect a snapshotted daemon before touching the stream: the restored
+  // scheduler continues exactly where the snapshotted one stopped, so
+  // feeding it the remainder of the stream reproduces the uninterrupted
+  // run's decision log byte for byte (tools/serve_resume_smoke.sh).
+  if (flags.has("restore")) {
+    std::ifstream snapshot_in(flags.get("restore", ""));
+    if (!snapshot_in) {
+      throw std::runtime_error("cannot read " + flags.get("restore", ""));
+    }
+    scheduler.restore(snapshot_in);
+  }
 
   std::ifstream stream_file;
   std::istream* events = &std::cin;
@@ -490,104 +564,153 @@ int run_serve_command(const Flags& flags) {
   };
 
   using Clock = std::chrono::steady_clock;
-  std::vector<double> latency_ns;  // one sample per stream event
+  // One latency sample per stream event — bounded: a long-running daemon
+  // must not grow a vector by one double per event forever.
+  LatencyReservoir latency_ns(8192);
   long long events_seen = 0;
   long long decisions_out = 0;
   long long arrivals = 0;
   long long drops_proactive = 0, drops_reactive = 0, drops_expired = 0;
+  long long shed = 0;
+  long long lines_skipped = 0;
 
   std::string line;
   long long line_no = 0;
-  while (std::getline(*events, line)) {
-    ++line_no;
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    try {
-      const StreamEvent event = parse_stream_event(line);
-      const auto machine = [&]() -> MachineId {
-        if (event.a < 0 || event.a >= machine_count) {
-          throw std::invalid_argument(
-              "machine " + std::to_string(event.a) + " out of range [0, " +
-              std::to_string(machine_count) + ")");
-        }
-        return static_cast<MachineId>(event.a);
-      };
-
-      // Time the decision kernels only (callback + immediate start
-      // confirmations); log I/O happens outside the clock so the latency
-      // percentiles describe the admission service, not the disk.
-      const Clock::time_point begin = Clock::now();
-      const std::vector<Decision>* decisions = nullptr;
-      switch (event.kind) {
-        case StreamEvent::Kind::Arrive: {
-          if (event.a < 0 || event.a >= type_count) {
+  // One bad stream line must not cost the operator the whole run's stats:
+  // every exit path below — clean EOF and error teardown alike — funnels
+  // through the shutdown summary at the end of this function.
+  const auto process_stream = [&]() {
+    while (std::getline(*events, line)) {
+      ++line_no;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      try {
+        const StreamEvent event = parse_stream_event(line);
+        const auto machine = [&]() -> MachineId {
+          if (event.a < 0 || event.a >= machine_count) {
             throw std::invalid_argument(
-                "task type " + std::to_string(event.a) +
-                " out of range [0, " + std::to_string(type_count) + ")");
+                "machine " + std::to_string(event.a) + " out of range [0, " +
+                std::to_string(machine_count) + ")");
           }
-          ++arrivals;
-          decisions = &scheduler.task_arrived(
-              event.t, static_cast<TaskTypeId>(event.a), event.b);
-          break;
+          return static_cast<MachineId>(event.a);
+        };
+        // Validate everything the scheduler would reject *before* calling
+        // into it: under --on-error=skip a rejected line must leave no
+        // trace in scheduler state (task_arrived in particular registers
+        // the task before its own monotonicity check could fire).
+        if (event.t < scheduler.now()) {
+          throw std::invalid_argument(
+              "time went backwards: t=" + std::to_string(event.t) +
+              " < now=" + std::to_string(scheduler.now()));
         }
-        case StreamEvent::Kind::Finish: {
-          const MachineId m = machine();
-          if (!scheduler.machine(m).running) {
-            throw std::invalid_argument("machine " + std::to_string(m) +
-                                        " has no running task to finish");
-          }
-          decisions = &scheduler.task_finished(event.t, m);
-          break;
-        }
-        case StreamEvent::Kind::Down: {
-          const MachineId m = machine();
-          if (!scheduler.machine(m).up) {
-            throw std::invalid_argument("machine " + std::to_string(m) +
-                                        " is already down");
-          }
-          decisions = &scheduler.machine_down(event.t, m);
-          break;
-        }
-        case StreamEvent::Kind::Up: {
-          const MachineId m = machine();
-          if (scheduler.machine(m).up) {
-            throw std::invalid_argument("machine " + std::to_string(m) +
-                                        " is already up");
-          }
-          decisions = &scheduler.machine_up(event.t, m);
-          break;
-        }
-        case StreamEvent::Kind::Advance:
-          decisions = &scheduler.advance(event.t);
-          break;
-      }
-      confirm_starts(event.t, *decisions);
-      const Clock::time_point end = Clock::now();
 
-      ++events_seen;
-      latency_ns.push_back(static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
-              .count()));
-      for (const Decision& decision : *decisions) {
-        ++decisions_out;
-        switch (decision.kind) {
-          case DecisionKind::DropProactive: ++drops_proactive; break;
-          case DecisionKind::DropReactive: ++drops_reactive; break;
-          case DecisionKind::ExpireUnmapped: ++drops_expired; break;
-          default: break;
+        // Time the decision kernels only (callback + immediate start
+        // confirmations); log I/O happens outside the clock so the latency
+        // percentiles describe the admission service, not the disk.
+        const Clock::time_point begin = Clock::now();
+        const std::vector<Decision>* decisions = nullptr;
+        switch (event.kind) {
+          case StreamEvent::Kind::Arrive: {
+            if (event.a < 0 || event.a >= type_count) {
+              throw std::invalid_argument(
+                  "task type " + std::to_string(event.a) +
+                  " out of range [0, " + std::to_string(type_count) + ")");
+            }
+            ++arrivals;
+            decisions = &scheduler.task_arrived(
+                event.t, static_cast<TaskTypeId>(event.a), event.b);
+            break;
+          }
+          case StreamEvent::Kind::Finish: {
+            const MachineId m = machine();
+            if (!scheduler.machine(m).running) {
+              throw std::invalid_argument("machine " + std::to_string(m) +
+                                          " has no running task to finish");
+            }
+            decisions = &scheduler.task_finished(event.t, m);
+            break;
+          }
+          case StreamEvent::Kind::Down: {
+            const MachineId m = machine();
+            if (!scheduler.machine(m).up) {
+              throw std::invalid_argument("machine " + std::to_string(m) +
+                                          " is already down");
+            }
+            decisions = &scheduler.machine_down(event.t, m);
+            break;
+          }
+          case StreamEvent::Kind::Up: {
+            const MachineId m = machine();
+            if (scheduler.machine(m).up) {
+              throw std::invalid_argument("machine " + std::to_string(m) +
+                                          " is already up");
+            }
+            decisions = &scheduler.machine_up(event.t, m);
+            break;
+          }
+          case StreamEvent::Kind::Advance:
+            decisions = &scheduler.advance(event.t);
+            break;
         }
-        *out << decision << '\n';
+        confirm_starts(event.t, *decisions);
+        const Clock::time_point end = Clock::now();
+
+        ++events_seen;
+        latency_ns.add(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+                .count()));
+        for (const Decision& decision : *decisions) {
+          ++decisions_out;
+          switch (decision.kind) {
+            case DecisionKind::DropProactive: ++drops_proactive; break;
+            case DecisionKind::DropReactive: ++drops_reactive; break;
+            case DecisionKind::ExpireUnmapped: ++drops_expired; break;
+            case DecisionKind::ShedOverload: ++shed; break;
+            default: break;
+          }
+          *out << decision << '\n';
+        }
+      } catch (const std::exception& error) {
+        if (!skip_bad_lines) {
+          throw std::runtime_error("stream line " + std::to_string(line_no) +
+                                   ": " + error.what());
+        }
+        // Structured recovery record in the decision log itself, so a
+        // consumer tailing the log sees the gap in place.
+        ++lines_skipped;
+        *out << "error t=" << scheduler.now() << " line=" << line_no
+             << " msg=\"" << error.what() << "\"\n";
       }
-    } catch (const std::exception& error) {
-      throw std::runtime_error("stream line " + std::to_string(line_no) +
-                               ": " + error.what());
     }
+  };
+  std::exception_ptr teardown_error;
+  try {
+    process_stream();
+  } catch (...) {
+    teardown_error = std::current_exception();
   }
   out->flush();
 
-  const double kernel_ns =
-      std::accumulate(latency_ns.begin(), latency_ns.end(), 0.0);
+  // Clean shutdown only: a snapshot taken mid-error would freeze a clock
+  // the operator does not know the position of.
+  if (!teardown_error && flags.has("snapshot-out")) {
+    std::ofstream snapshot_out(flags.get("snapshot-out", ""));
+    if (!snapshot_out) {
+      throw std::runtime_error("cannot write " +
+                               flags.get("snapshot-out", ""));
+    }
+    scheduler.snapshot(snapshot_out);
+    if (!snapshot_out.flush()) {
+      throw std::runtime_error("short write to " +
+                               flags.get("snapshot-out", ""));
+    }
+  }
+
+  const double kernel_ns = latency_ns.total();
   const long long drops = drops_proactive + drops_reactive + drops_expired;
+  // Sort the kept subsample once, extract every percentile from it.
+  std::vector<double> latency_sorted = latency_ns.samples();
+  std::sort(latency_sorted.begin(), latency_sorted.end());
   *stats << "serve: scenario=" << to_string(kind)
          << " mapper=" << flags.get("mapper", "PAM")
          << " dropper=" << dropper_config.name()
@@ -602,23 +725,41 @@ int run_serve_command(const Flags& flags) {
                 arrivals > 0 ? 100.0 * static_cast<double>(drops) /
                                    static_cast<double>(arrivals)
                              : 0.0, 2)
-         << "% of arrivals\n"
-         << "kernel_time_ms=" << format_fixed(kernel_ns / 1e6, 3)
+         << "% of arrivals\n";
+  if (config.shed.active()) {
+    *stats << "shed=" << shed << " (shed_rate=" << format_fixed(
+                  arrivals > 0 ? 100.0 * static_cast<double>(shed) /
+                                     static_cast<double>(arrivals)
+                               : 0.0, 2)
+           << "% of arrivals, watermark=" << config.shed.total_pending_watermark
+           << " machine_backlog=" << config.shed.machine_backlog_watermark
+           << ")\n";
+  }
+  if (skip_bad_lines) {
+    *stats << "lines_skipped=" << lines_skipped << "\n";
+  }
+  *stats << "kernel_time_ms=" << format_fixed(kernel_ns / 1e6, 3)
          << " decisions_per_sec=" << format_fixed(
                 kernel_ns > 0.0
                     ? static_cast<double>(decisions_out) * 1e9 / kernel_ns
                     : 0.0, 0)
          << "\n"
          << "event_latency_us: p50=" << format_fixed(
-                percentile(latency_ns, 50.0) / 1e3, 3)
-         << " p99=" << format_fixed(percentile(latency_ns, 99.0) / 1e3, 3)
-         << " max=" << format_fixed(
-                latency_ns.empty()
-                    ? 0.0
-                    : *std::max_element(latency_ns.begin(),
-                                        latency_ns.end()) / 1e3, 3)
-         << "\n";
+                percentile_sorted(latency_sorted, 50.0) / 1e3, 3)
+         << " p99=" << format_fixed(
+                percentile_sorted(latency_sorted, 99.0) / 1e3, 3)
+         << " max=" << format_fixed(latency_ns.max() / 1e3, 3);
+  if (latency_ns.stride() > 1) {
+    // Percentiles come from the strided subsample past reservoir capacity;
+    // max is always exact.
+    *stats << " (percentiles over 1/" << latency_ns.stride()
+           << " strided sample)";
+  }
+  *stats << "\n";
   stats->flush();
+  // Error teardown: the summary above still made it out; now surface the
+  // original failure (exit 1 via main's handler).
+  if (teardown_error) std::rethrow_exception(teardown_error);
   return 0;
 }
 
