@@ -560,8 +560,57 @@ void ShardSpec::validate() const {
   }
 }
 
+void SweepLeaseRange::validate() const {
+  if (id < 0) {
+    throw std::invalid_argument("lease id must be >= 0, got " +
+                                std::to_string(id));
+  }
+  if (begin >= end) {
+    throw std::invalid_argument(
+        "lease range must be non-empty, got [" + std::to_string(begin) +
+        ", " + std::to_string(end) + ")");
+  }
+}
+
+SpecMap canonical_spec_map(const SweepSpec& spec) {
+  // A shard/lease report is only mergeable if re-expanding its spec header
+  // reproduces this grid exactly — cell for cell, since the merge
+  // attributes trial payloads by cell index. A map-level fixpoint check
+  // is not enough: a hand-built dropper variant list can render to a
+  // grid of the same keys and size whose re-expansion *orders* cells
+  // differently. Demand identity up front instead of corrupting the
+  // merge silently.
+  if (!spec.series.empty()) {
+    throw std::invalid_argument(
+        "sharded sweeps need a grid spec: series lists have no to_map "
+        "rendering for the shard header");
+  }
+  SpecMap map = spec.to_map();
+  const std::vector<SweepCell> cells = expand(spec);
+  const SweepSpec reparsed = SweepSpec::from_map(map);
+  const std::vector<SweepCell> recells =
+      reparsed.to_map() == map ? expand(reparsed) : std::vector<SweepCell>{};
+  bool canonical = recells.size() == cells.size();
+  for (std::size_t c = 0; canonical && c < cells.size(); ++c) {
+    canonical = same_point(cells[c].point, recells[c].point) &&
+                same_config(cells[c].config, recells[c].config);
+  }
+  if (!canonical) {
+    throw std::invalid_argument(
+        "sharded sweeps need a canonical spec: from_map(to_map()) does "
+        "not reproduce this grid cell for cell (hand-built dropper "
+        "variant lists that do not form an ordered grid re-expand "
+        "differently)");
+  }
+  return map;
+}
+
 SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   spec.validate();
+  if (options.shard && options.lease) {
+    throw std::invalid_argument(
+        "run_sweep: shard and lease options are mutually exclusive");
+  }
   const ShardSpec shard = options.shard.value_or(ShardSpec{});
   shard.validate();
 
@@ -569,38 +618,27 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   report.name = spec.name;
   report.active_axes = active_axes_of(spec);
   const std::vector<SweepCell> cells = expand(spec);
-  if (options.shard) {
-    // A shard report is only mergeable if re-expanding its spec header
-    // reproduces this grid exactly — cell for cell, since the merge
-    // attributes trial payloads by cell index. A map-level fixpoint check
-    // is not enough: a hand-built dropper variant list can render to a
-    // grid of the same keys and size whose re-expansion *orders* cells
-    // differently. Demand identity up front instead of corrupting the
-    // merge silently.
-    if (!spec.series.empty()) {
-      throw std::invalid_argument(
-          "sharded sweeps need a grid spec: series lists have no to_map "
-          "rendering for the shard header");
-    }
-    report.spec_map = spec.to_map();
-    const SweepSpec reparsed = SweepSpec::from_map(report.spec_map);
-    const std::vector<SweepCell> recells =
-        reparsed.to_map() == report.spec_map ? expand(reparsed)
-                                             : std::vector<SweepCell>{};
-    bool canonical = recells.size() == cells.size();
-    for (std::size_t c = 0; canonical && c < cells.size(); ++c) {
-      canonical = same_point(cells[c].point, recells[c].point) &&
-                  same_config(cells[c].config, recells[c].config);
-    }
-    if (!canonical) {
-      throw std::invalid_argument(
-          "sharded sweeps need a canonical spec: from_map(to_map()) does "
-          "not reproduce this grid cell for cell (hand-built dropper "
-          "variant lists that do not form an ordered grid re-expand "
-          "differently)");
-    }
-    report.shard = shard;
+  if (options.shard || options.lease) {
+    report.spec_map = canonical_spec_map(spec);
+    if (options.shard) report.shard = shard;
   }
+  if (options.lease) {
+    options.lease->validate();
+    const std::size_t units =
+        cells.size() * static_cast<std::size_t>(spec.trials);
+    if (options.lease->end > units) {
+      throw std::invalid_argument(
+          "lease range [" + std::to_string(options.lease->begin) + ", " +
+          std::to_string(options.lease->end) + ") exceeds the grid's " +
+          std::to_string(units) + " units");
+    }
+    report.lease = options.lease;
+  }
+  // Unit ownership under the engaged partition (everything when plain).
+  const auto owns = [&](std::size_t unit) {
+    if (options.lease) return lease_owns(*options.lease, unit);
+    return shard_owns(shard, unit);
+  };
 
   report.cells.resize(cells.size());
 
@@ -623,7 +661,7 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   std::size_t touched_cells = 0;
   for (std::size_t c = 0; c < cells.size(); ++c) {
     for (int t = 0; t < spec.trials; ++t) {
-      if (shard_owns(shard, sweep_unit(c, t, spec.trials))) {
+      if (owns(sweep_unit(c, t, spec.trials))) {
         states[c].owned.push_back(t);
       }
     }

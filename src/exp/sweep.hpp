@@ -170,6 +170,27 @@ inline bool shard_owns(const ShardSpec& shard, std::size_t unit) {
          static_cast<std::size_t>(shard.index);
 }
 
+/// One lease of a sweep: a contiguous range [begin, end) of flat
+/// cell-major unit indices (see sweep_unit). Leases are the elastic
+/// counterpart of ShardSpec — instead of a partition fixed up front, a
+/// lease directory (exp/lease.hpp) hands ranges to whichever worker claims
+/// them, so a dead worker's range is re-run by a survivor. Contiguity
+/// keeps each lease's cells clustered, which the cost-model-driven plan
+/// exploits to even out deep-window cells.
+struct SweepLeaseRange {
+  long long id = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  /// Rejects id < 0 and begin >= end.
+  void validate() const;
+};
+
+/// Whether `lease` covers the given unit.
+inline bool lease_owns(const SweepLeaseRange& lease, std::size_t unit) {
+  return unit >= lease.begin && unit < lease.end;
+}
+
 /// Consolidated output of one sweep; metrics/report.hpp renders it as an
 /// aligned table, CSV or JSON (and merges shard reports back together).
 struct SweepReport {
@@ -181,8 +202,12 @@ struct SweepReport {
   /// JSON form then carries the shard header and per-trial payloads that
   /// merge_sweep_reports consumes. Disengaged for plain and merged runs.
   std::optional<ShardSpec> shard;
-  /// Canonical SweepSpec::to_map rendering, filled for sharded runs — the
-  /// header merge_sweep_reports validates shard compatibility against.
+  /// Engaged when run_sweep executed one lease range: the JSON form then
+  /// carries a lease header instead of a shard header (same mergeable
+  /// per-trial payloads). At most one of shard/lease is engaged.
+  std::optional<SweepLeaseRange> lease;
+  /// Canonical SweepSpec::to_map rendering, filled for sharded and leased
+  /// runs — the header merge_sweep_reports validates compatibility against.
   SpecMap spec_map;
   /// Expansion order (stable regardless of scheduling).
   std::vector<SweepCellResult> cells;
@@ -197,6 +222,10 @@ struct SweepOptions {
   /// grid spec whose to_map rendering is a from_map fixpoint (no hand-built
   /// series lists), so the merge can re-expand identical cells.
   std::optional<ShardSpec> shard;
+  /// When engaged, run only the units in this contiguous range (mutually
+  /// exclusive with `shard`; same canonical-spec requirement). The report
+  /// carries a lease header instead of a shard header.
+  std::optional<SweepLeaseRange> lease;
   /// Streaming progress: invoked once per finished cell (serialised, from
   /// worker threads) with the completed cell and done/total counts. Under
   /// sharding a cell counts as finished when its owned trials are done;
@@ -220,6 +249,14 @@ SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& options = {});
 /// The active-axes column set run_sweep derives from a spec (exposed for
 /// merge_sweep_reports, which rebuilds reports from shard headers).
 std::vector<std::string> active_axes_of(const SweepSpec& spec);
+
+/// The canonical to_map rendering a mergeable (sharded or leased) run may
+/// publish as its header: requires a grid spec (no series lists) whose
+/// re-expansion through from_map reproduces the grid cell for cell —
+/// merging attributes trial payloads by cell index, so anything weaker
+/// would corrupt the merge silently. Throws std::invalid_argument when the
+/// spec has no such rendering.
+SpecMap canonical_spec_map(const SweepSpec& spec);
 
 /// First cell matching the predicate, or nullptr.
 const SweepCellResult* find_cell(

@@ -1,12 +1,14 @@
 #include "metrics/report.hpp"
 
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
+#include <cstdint>
+#include <cstring>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#include "util/json.hpp"
 
 namespace taskdrop {
 
@@ -171,11 +173,21 @@ void write_cell_trials_json(std::ostream& os, const SweepCellResult& cell) {
 }  // namespace
 
 void write_sweep_json(std::ostream& os, const SweepReport& report) {
+  // A shard or lease report is the mergeable form: partition header,
+  // canonical spec map, and per-trial payloads instead of summaries.
+  const bool mergeable = report.shard.has_value() || report.lease.has_value();
   os << "{\n  \"schema\": \"" << kSchema << "\",\n  \"name\": \""
      << json_escape(report.name) << '"';
   if (report.shard) {
     os << ",\n  \"shard\": {\"index\": " << report.shard->index
        << ", \"count\": " << report.shard->count << "}";
+  }
+  if (report.lease) {
+    os << ",\n  \"lease\": {\"id\": " << report.lease->id
+       << ", \"begin\": " << report.lease->begin
+       << ", \"end\": " << report.lease->end << "}";
+  }
+  if (mergeable) {
     os << ",\n  \"spec\": {";
     bool first = true;
     for (const auto& [key, values] : report.spec_map) {
@@ -193,15 +205,15 @@ void write_sweep_json(std::ostream& os, const SweepReport& report) {
   bool first_cell = true;
   for (std::size_t i = 0; i < report.cells.size(); ++i) {
     const SweepCellResult& cell = report.cells[i];
-    // A shard document carries only the cells it owns trials of.
-    if (report.shard && cell.trial_indices.empty()) continue;
+    // A mergeable document carries only the cells it owns trials of.
+    if (mergeable && cell.trial_indices.empty()) continue;
     os << (first_cell ? "\n" : ",\n") << "    {";
-    if (report.shard) os << "\"cell\": " << i << ",\n     ";
+    if (mergeable) os << "\"cell\": " << i << ",\n     ";
     write_point_json(os, cell.point);
     os << ",\n     ";
     write_config_json(os, cell.config);
     os << ",\n     ";
-    if (report.shard) {
+    if (mergeable) {
       write_cell_trials_json(os, cell);
     } else {
       write_cell_summaries_json(os, cell.result);
@@ -212,244 +224,50 @@ void write_sweep_json(std::ostream& os, const SweepReport& report) {
   os << "\n  ]\n}\n";
 }
 
-// --- Shard-document parsing: a minimal recursive-descent JSON reader
-// sized to the report schema (objects, arrays, strings, numbers, bools,
-// null; the escapes json_escape emits). Numbers keep their token text so
-// integer fields convert exactly and doubles go through one strtod.
+// --- Shard-document parsing, via the shared util/json reader. Helpers
+// below bind the "sweep shard JSON" error context once.
 
 namespace {
 
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  std::string text;  ///< number token or decoded string payload
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& message) const {
-    throw std::invalid_argument("sweep shard JSON: " + message +
-                                " at offset " + std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of document");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_keyword(const char* word) {
-    const std::size_t length = std::string(word).size();
-    if (text_.compare(pos_, length, word) != 0) return false;
-    pos_ += length;
-    return true;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    JsonValue value;
-    const char c = peek();
-    if (c == '{') {
-      value.kind = JsonValue::Kind::Object;
-      ++pos_;
-      skip_ws();
-      if (peek() == '}') {
-        ++pos_;
-        return value;
-      }
-      for (;;) {
-        skip_ws();
-        std::string key = parse_string_token();
-        skip_ws();
-        expect(':');
-        value.members.emplace_back(std::move(key), parse_value());
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect('}');
-        return value;
-      }
-    }
-    if (c == '[') {
-      value.kind = JsonValue::Kind::Array;
-      ++pos_;
-      skip_ws();
-      if (peek() == ']') {
-        ++pos_;
-        return value;
-      }
-      for (;;) {
-        value.items.push_back(parse_value());
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect(']');
-        return value;
-      }
-    }
-    if (c == '"') {
-      value.kind = JsonValue::Kind::String;
-      value.text = parse_string_token();
-      return value;
-    }
-    if (c == 't' || c == 'f') {
-      value.kind = JsonValue::Kind::Bool;
-      if (consume_keyword("true")) {
-        value.boolean = true;
-        return value;
-      }
-      if (consume_keyword("false")) return value;
-      fail("malformed literal");
-    }
-    if (c == 'n') {
-      if (consume_keyword("null")) return value;
-      fail("malformed literal");
-    }
-    if (c == '-' || (c >= '0' && c <= '9')) {
-      value.kind = JsonValue::Kind::Number;
-      const std::size_t start = pos_;
-      if (peek() == '-') ++pos_;
-      while (pos_ < text_.size() &&
-             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-              text_[pos_] == '.' || text_[pos_] == 'e' ||
-              text_[pos_] == 'E' || text_[pos_] == '+' ||
-              text_[pos_] == '-')) {
-        ++pos_;
-      }
-      value.text = text_.substr(start, pos_ - start);
-      if (value.text.empty() || value.text == "-") fail("malformed number");
-      return value;
-    }
-    fail("unexpected character");
-  }
-
-  std::string parse_string_token() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char escape = text_[pos_++];
-      switch (escape) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        default: fail("unsupported string escape");
-      }
-    }
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue* find_member(const JsonValue& object, const char* key) {
-  for (const auto& [name, value] : object.members) {
-    if (name == key) return &value;
-  }
-  return nullptr;
+const std::string& json_context() {
+  static const std::string context = "sweep shard JSON";
+  return context;
 }
 
 const JsonValue& require_member(const JsonValue& object, const char* key,
                                 const char* where) {
-  const JsonValue* value = find_member(object, key);
-  if (value == nullptr) {
-    throw std::invalid_argument("sweep shard JSON: missing \"" +
-                                std::string(key) + "\" in " + where);
-  }
-  return *value;
+  return json_require(object, key, where, json_context());
 }
 
 double double_of(const JsonValue& value, const char* where) {
-  if (value.kind == JsonValue::Kind::Number) {
-    // The token scanner accepts any run of number characters, so demand
-    // strtod consumes the whole token — "1.2.3" must be a loud error,
-    // not a silently merged 1.2.
-    char* end = nullptr;
-    const double parsed = std::strtod(value.text.c_str(), &end);
-    if (end != value.text.c_str() + value.text.size()) {
-      throw std::invalid_argument("sweep shard JSON: malformed number '" +
-                                  value.text + "' for " + std::string(where));
-    }
-    return parsed;
-  }
-  // Non-finite trial values round-trip as strings (see json_trial_number).
-  if (value.kind == JsonValue::Kind::String) {
-    if (value.text == "inf") return HUGE_VAL;
-    if (value.text == "-inf") return -HUGE_VAL;
-    if (value.text == "nan") return std::nan("");
-  }
-  throw std::invalid_argument("sweep shard JSON: expected a number for " +
-                              std::string(where));
+  return json_double(value, where, json_context());
 }
 
 long long integer_of(const JsonValue& value, const char* where) {
-  if (value.kind != JsonValue::Kind::Number ||
-      value.text.find_first_of(".eE") != std::string::npos) {
-    throw std::invalid_argument("sweep shard JSON: expected an integer for " +
-                                std::string(where));
-  }
-  std::size_t consumed = 0;
-  long long parsed = 0;
-  try {
-    parsed = std::stoll(value.text, &consumed);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("sweep shard JSON: integer out of range for " +
-                                std::string(where));
-  }
-  if (consumed != value.text.size()) {
-    throw std::invalid_argument("sweep shard JSON: malformed integer '" +
-                                value.text + "' for " + std::string(where));
-  }
-  return parsed;
+  return json_integer(value, where, json_context());
 }
 
 const std::string& string_of(const JsonValue& value, const char* where) {
-  if (value.kind != JsonValue::Kind::String) {
-    throw std::invalid_argument("sweep shard JSON: expected a string for " +
-                                std::string(where));
+  return json_string(value, where, json_context());
+}
+
+/// Bitwise payload equality, field for field through the shared schema
+/// table. Doubles are compared as their bit patterns (memcpy, not ==):
+/// re-executed units must reproduce *exactly* the same bytes, and NaN
+/// payloads must compare equal to themselves.
+bool trials_bitwise_equal(const TrialMetrics& a, const TrialMetrics& b) {
+  for (const TrialField& field : kTrialFields) {
+    if (field.real != nullptr) {
+      std::uint64_t bits_a = 0;
+      std::uint64_t bits_b = 0;
+      std::memcpy(&bits_a, &(a.*field.real), sizeof(bits_a));
+      std::memcpy(&bits_b, &(b.*field.real), sizeof(bits_b));
+      if (bits_a != bits_b) return false;
+    } else if (a.*field.integer != b.*field.integer) {
+      return false;
+    }
   }
-  return value.text;
+  return true;
 }
 
 }  // namespace
@@ -457,7 +275,7 @@ const std::string& string_of(const JsonValue& value, const char* where) {
 SweepShardReport read_sweep_shard_json(std::istream& is) {
   std::ostringstream buffer;
   buffer << is.rdbuf();
-  const JsonValue root = JsonParser(buffer.str()).parse();
+  const JsonValue root = parse_json(buffer.str(), json_context());
   if (root.kind != JsonValue::Kind::Object) {
     throw std::invalid_argument("sweep shard JSON: document is not an object");
   }
@@ -472,17 +290,38 @@ SweepShardReport read_sweep_shard_json(std::istream& is) {
   SweepShardReport shard;
   shard.name = string_of(require_member(root, "name", "document"), "name");
 
-  const JsonValue* header = find_member(root, "shard");
-  if (header == nullptr) {
+  const JsonValue* shard_header = json_find(root, "shard");
+  const JsonValue* lease_header = json_find(root, "lease");
+  if (shard_header == nullptr && lease_header == nullptr) {
     throw std::invalid_argument(
-        "sweep shard JSON: no shard header — this is a plain sweep dump "
-        "(summaries only); mergeable documents come from sweep --shard I/N");
+        "sweep shard JSON: no shard or lease header — this is a plain sweep "
+        "dump (summaries only); mergeable documents come from sweep "
+        "--shard I/N or sweep --elastic");
   }
-  shard.shard.index = static_cast<int>(
-      integer_of(require_member(*header, "index", "shard"), "shard.index"));
-  shard.shard.count = static_cast<int>(
-      integer_of(require_member(*header, "count", "shard"), "shard.count"));
-  shard.shard.validate();
+  if (shard_header != nullptr && lease_header != nullptr) {
+    throw std::invalid_argument(
+        "sweep shard JSON: document carries both a shard and a lease "
+        "header");
+  }
+  if (shard_header != nullptr) {
+    ShardSpec parsed;
+    parsed.index = static_cast<int>(integer_of(
+        require_member(*shard_header, "index", "shard"), "shard.index"));
+    parsed.count = static_cast<int>(integer_of(
+        require_member(*shard_header, "count", "shard"), "shard.count"));
+    parsed.validate();
+    shard.shard = parsed;
+  } else {
+    SweepLeaseRange parsed;
+    parsed.id =
+        integer_of(require_member(*lease_header, "id", "lease"), "lease.id");
+    parsed.begin = static_cast<std::size_t>(integer_of(
+        require_member(*lease_header, "begin", "lease"), "lease.begin"));
+    parsed.end = static_cast<std::size_t>(integer_of(
+        require_member(*lease_header, "end", "lease"), "lease.end"));
+    parsed.validate();
+    shard.lease = parsed;
+  }
 
   const JsonValue& spec = require_member(root, "spec", "document");
   if (spec.kind != JsonValue::Kind::Object) {
@@ -530,19 +369,27 @@ SweepShardReport read_sweep_shard_json(std::istream& is) {
   return shard;
 }
 
-SweepReport merge_sweep_reports(const std::vector<SweepShardReport>& shards) {
+SweepReport merge_sweep_reports(const std::vector<SweepShardReport>& shards,
+                                const MergeOptions& options) {
   if (shards.empty()) {
     throw std::invalid_argument("merge: no shard reports given");
   }
   const SweepShardReport& first = shards.front();
-  const int count = first.shard.count;
-  std::vector<bool> seen(static_cast<std::size_t>(count), false);
+  // One partition kind throughout: a shard document asserts "I own every
+  // unit congruent to my index", a lease document "I own [begin, end)" —
+  // mixing them would make the ownership checks incoherent.
+  const bool leased = first.lease.has_value();
   for (const SweepShardReport& shard : shards) {
-    shard.shard.validate();
-    if (shard.shard.count != count) {
+    if (shard.shard.has_value() == shard.lease.has_value()) {
       throw std::invalid_argument(
-          "merge: shard counts disagree (" + std::to_string(count) + " vs " +
-          std::to_string(shard.shard.count) + ")");
+          "merge: document carries " +
+          std::string(shard.shard ? "both shard and lease headers"
+                                  : "neither a shard nor a lease header"));
+    }
+    if (shard.lease.has_value() != leased) {
+      throw std::invalid_argument(
+          "merge: shard and lease documents mixed — merge round-robin "
+          "shards and elastic leases separately");
     }
     if (shard.name != first.name) {
       throw std::invalid_argument("merge: shards name different sweeps (\"" +
@@ -554,18 +401,33 @@ SweepReport merge_sweep_reports(const std::vector<SweepShardReport>& shards) {
           "merge: shard spec headers differ — every shard must come from "
           "the same canonical spec");
     }
-    auto flag = seen.begin() + shard.shard.index;
-    if (*flag) {
-      throw std::invalid_argument("merge: duplicate shard " +
-                                  std::to_string(shard.shard.index) + "/" +
-                                  std::to_string(count));
-    }
-    *flag = true;
   }
-  for (int i = 0; i < count; ++i) {
-    if (!seen[static_cast<std::size_t>(i)]) {
-      throw std::invalid_argument("merge: missing shard " + std::to_string(i) +
-                                  "/" + std::to_string(count));
+  if (!leased) {
+    const int count = first.shard->count;
+    // Every index 0..count-1 must appear; without allow_reexecuted it must
+    // appear exactly once (a re-run shard is a re-executed partition).
+    std::vector<bool> seen(static_cast<std::size_t>(count), false);
+    for (const SweepShardReport& shard : shards) {
+      shard.shard->validate();
+      if (shard.shard->count != count) {
+        throw std::invalid_argument(
+            "merge: shard counts disagree (" + std::to_string(count) +
+            " vs " + std::to_string(shard.shard->count) + ")");
+      }
+      auto flag = seen.begin() + shard.shard->index;
+      if (*flag && !options.allow_reexecuted) {
+        throw std::invalid_argument("merge: duplicate shard " +
+                                    std::to_string(shard.shard->index) + "/" +
+                                    std::to_string(count));
+      }
+      *flag = true;
+    }
+    for (int i = 0; i < count; ++i) {
+      if (!seen[static_cast<std::size_t>(i)]) {
+        throw std::invalid_argument("merge: missing shard " +
+                                    std::to_string(i) + "/" +
+                                    std::to_string(count));
+      }
     }
   }
 
@@ -578,12 +440,22 @@ SweepReport merge_sweep_reports(const std::vector<SweepShardReport>& shards) {
   }
   const std::vector<SweepCell> cells = expand(spec);
   const std::size_t trials_per_cell = static_cast<std::size_t>(spec.trials);
+  const std::size_t units = cells.size() * trials_per_cell;
 
   std::vector<std::vector<TrialMetrics>> trials(
       cells.size(), std::vector<TrialMetrics>(trials_per_cell));
   std::vector<std::vector<bool>> have(
       cells.size(), std::vector<bool>(trials_per_cell, false));
   for (const SweepShardReport& shard : shards) {
+    if (leased) {
+      shard.lease->validate();
+      if (shard.lease->end > units) {
+        throw std::invalid_argument(
+            "merge: lease range [" + std::to_string(shard.lease->begin) +
+            ", " + std::to_string(shard.lease->end) +
+            ") exceeds the grid's " + std::to_string(units) + " units");
+      }
+    }
     for (const SweepShardReport::TrialRecord& record : shard.trials) {
       if (record.cell >= cells.size()) {
         throw std::invalid_argument(
@@ -597,20 +469,46 @@ SweepReport merge_sweep_reports(const std::vector<SweepShardReport>& shards) {
             " out of range (spec has " + std::to_string(spec.trials) +
             " trials)");
       }
-      if (!shard_owns(shard.shard,
-                      sweep_unit(record.cell, record.trial, spec.trials))) {
+      const std::size_t unit =
+          sweep_unit(record.cell, record.trial, spec.trials);
+      const bool owned = leased ? lease_owns(*shard.lease, unit)
+                                : shard_owns(*shard.shard, unit);
+      if (!owned) {
         throw std::invalid_argument(
             "merge: trial " + std::to_string(record.trial) + " of cell " +
-            std::to_string(record.cell) + " does not belong to shard " +
-            std::to_string(shard.shard.index) + "/" + std::to_string(count));
+            std::to_string(record.cell) + " does not belong to " +
+            (leased ? "lease " + std::to_string(shard.lease->id) + " [" +
+                          std::to_string(shard.lease->begin) + ", " +
+                          std::to_string(shard.lease->end) + ")"
+                    : "shard " + std::to_string(shard.shard->index) + "/" +
+                          std::to_string(shard.shard->count)));
       }
-      if (have[record.cell][static_cast<std::size_t>(record.trial)]) {
-        throw std::invalid_argument(
-            "merge: duplicate payload for trial " +
-            std::to_string(record.trial) + " of cell " +
-            std::to_string(record.cell));
+      auto slot = have[record.cell].begin() + record.trial;
+      if (*slot) {
+        // Deterministic trial seeding means a reclaimed-and-also-finished
+        // unit reproduces the exact bytes; anything else is corruption or
+        // a spec/code mismatch, and is loud with or without
+        // allow_reexecuted.
+        if (!trials_bitwise_equal(
+                trials[record.cell][static_cast<std::size_t>(record.trial)],
+                record.metrics)) {
+          throw std::invalid_argument(
+              "merge: divergent re-executed payloads for trial " +
+              std::to_string(record.trial) + " of cell " +
+              std::to_string(record.cell) +
+              " — the documents disagree bitwise and cannot both be right");
+        }
+        if (!options.allow_reexecuted) {
+          throw std::invalid_argument(
+              "merge: duplicate payload for trial " +
+              std::to_string(record.trial) + " of cell " +
+              std::to_string(record.cell) +
+              " (re-run merge with --allow-reexecuted if this is a "
+              "reclaimed lease)");
+        }
+        continue;
       }
-      have[record.cell][static_cast<std::size_t>(record.trial)] = true;
+      *slot = true;
       trials[record.cell][static_cast<std::size_t>(record.trial)] =
           record.metrics;
     }

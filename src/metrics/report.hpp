@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "exp/sweep.hpp"
@@ -31,24 +32,27 @@ void write_sweep_csv(std::ostream& os, const SweepReport& report);
 /// All numbers are emitted with the shortest round-trippable rendering;
 /// non-finite summary values become null so the document stays valid JSON.
 ///
-/// When `report.shard` is engaged (a run_sweep shard), the document grows a
-/// `shard` header, the canonical `spec` map, and per-trial metric payloads
-/// per touched cell in place of the summary block — the mergeable form
+/// When `report.shard` or `report.lease` is engaged (a run_sweep shard or
+/// a leased unit range), the document grows the matching `shard`/`lease`
+/// header, the canonical `spec` map, and per-trial metric payloads per
+/// touched cell in place of the summary block — the mergeable form
 /// read_sweep_shard_json consumes. Non-finite trial values are kept as the
 /// strings "inf"/"-inf"/"nan" so they survive the round trip exactly.
 void write_sweep_json(std::ostream& os, const SweepReport& report);
 
-// --- Shard merging. A sharded run emits one mergeable JSON document per
-// shard; merging re-expands the shared spec header and reunites the
-// per-trial payloads into a report bitwise-identical to the unsharded
-// run_sweep (trial RNG is seeded per (cell, trial), so the partition
-// cannot drift).
+// --- Shard merging. A sharded (or elastic leased) run emits one mergeable
+// JSON document per shard/lease; merging re-expands the shared spec header
+// and reunites the per-trial payloads into a report bitwise-identical to
+// the unsharded run_sweep (trial RNG is seeded per (cell, trial), so the
+// partition cannot drift).
 
-/// One parsed shard document: the header identifying its sweep and
-/// partition, plus every (cell, trial) payload it carries.
+/// One parsed mergeable document: the header identifying its sweep and
+/// partition — exactly one of `shard` (round-robin) or `lease` (contiguous
+/// unit range) is engaged — plus every (cell, trial) payload it carries.
 struct SweepShardReport {
   std::string name;
-  ShardSpec shard;
+  std::optional<ShardSpec> shard;
+  std::optional<SweepLeaseRange> lease;
   /// Canonical SweepSpec::to_map rendering shared by every shard.
   SpecMap spec;
   struct TrialRecord {
@@ -59,20 +63,34 @@ struct SweepShardReport {
   std::vector<TrialRecord> trials;
 };
 
-/// Parses a shard document written by write_sweep_json for a sharded run.
-/// Throws std::invalid_argument on malformed JSON, an unsupported schema,
-/// or a document without a shard header (plain sweep dumps carry only
+/// Parses a mergeable document written by write_sweep_json for a sharded
+/// or leased run. Throws std::invalid_argument on malformed JSON (the
+/// error names the line and byte offset — a truncated file from a killed
+/// worker is rejected loudly, never half-read), an unsupported schema, or
+/// a document without a shard/lease header (plain sweep dumps carry only
 /// summaries and cannot be merged).
 SweepShardReport read_sweep_shard_json(std::istream& is);
 
-/// Reunites shard reports into the unsharded SweepReport: validates the
-/// shard headers against the canonical spec rendering (equal specs, every
-/// index 0..count-1 exactly once — duplicates and gaps are errors; order
-/// does not matter), re-expands the spec, places every trial payload by
-/// its (cell, trial) key after checking it belongs to the shard that
-/// carries it, then re-runs summarize_trials per completed cell. Throws
-/// std::invalid_argument when any unit is missing, duplicated, or
-/// misplaced.
-SweepReport merge_sweep_reports(const std::vector<SweepShardReport>& shards);
+struct MergeOptions {
+  /// Tolerate the same (cell, trial) payload arriving from more than one
+  /// document when the payloads are bitwise identical — the signature of a
+  /// reclaimed lease whose original owner also finished (both executed the
+  /// same deterministic unit). Divergent duplicate payloads are always a
+  /// loud error: they mean the documents came from different code, specs,
+  /// or corrupted files. Off by default, where any duplicate is an error.
+  bool allow_reexecuted = false;
+};
+
+/// Reunites shard or lease reports into the unsharded SweepReport:
+/// validates the headers against the canonical spec rendering (equal
+/// specs and names; one header kind throughout; for shards, every index
+/// 0..count-1 present — gaps are errors; order does not matter),
+/// re-expands the spec, places every trial payload by its (cell, trial)
+/// key after checking it belongs to the shard/lease that carries it, then
+/// re-runs summarize_trials per completed cell. Throws
+/// std::invalid_argument when any unit is missing, duplicated (see
+/// MergeOptions::allow_reexecuted), or misplaced.
+SweepReport merge_sweep_reports(const std::vector<SweepShardReport>& shards,
+                                const MergeOptions& options = {});
 
 }  // namespace taskdrop

@@ -1,0 +1,99 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace taskdrop {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("cannot write " + path + ": " + what + " (" +
+                           std::strerror(errno) + ")");
+}
+
+/// Unique same-directory temporary name: rename/link must not cross a
+/// filesystem boundary, and two writers in one process must not collide.
+std::string temp_name(const std::string& path) {
+  static std::atomic<unsigned long long> sequence{0};
+  return path + ".tmp." + std::to_string(static_cast<long long>(::getpid())) +
+         "." + std::to_string(sequence.fetch_add(1));
+}
+
+/// Writes content to a fresh temporary next to `path`, fsyncs it, and
+/// returns the temporary's name. Throws via fail() on any error.
+std::string stage_temp(const std::string& path, const std::string& content) {
+  const std::string temp = temp_name(path);
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) fail(path, "cannot create temporary");
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(temp.c_str());
+      fail(path, "short write to temporary");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(temp.c_str());
+    fail(path, "fsync of temporary failed");
+  }
+  return temp;
+}
+
+/// Best-effort directory fsync so the rename/link itself is durable; a
+/// failure here (e.g. an unsupported filesystem) does not lose atomicity,
+/// only durability of the very last publication, so it is not fatal.
+void sync_parent_dir(const std::string& path) {
+  const auto slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string temp = stage_temp(path, content);
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    fail(path, "rename into place failed");
+  }
+  sync_parent_dir(path);
+}
+
+bool atomic_create_file(const std::string& path, const std::string& content) {
+  const std::string temp = stage_temp(path, content);
+  const int rc = ::link(temp.c_str(), path.c_str());
+  const int link_errno = errno;
+  ::unlink(temp.c_str());
+  if (rc == 0) {
+    sync_parent_dir(path);
+    return true;
+  }
+  if (link_errno == EEXIST) return false;
+  errno = link_errno;
+  fail(path, "exclusive link into place failed");
+}
+
+std::int64_t monotonic_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace taskdrop

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace taskdrop {
+
+// --- Crash-safe file publication. Every report, snapshot and lease
+// document in the tree goes through these two helpers so a killed process
+// can never leave a truncated file that a later merge or restore
+// half-reads: the bytes are staged to a uniquely named temporary in the
+// destination directory, fsync'd, and moved into place with one atomic
+// directory operation. A reader (or a crash at any point) sees either the
+// old file or the complete new one, never a prefix.
+
+/// Replaces `path` with `content` atomically (tmp + fsync + rename(2)).
+/// Throws std::runtime_error ("cannot write <path>: ...") on any I/O
+/// failure; the temporary is unlinked best-effort.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Creates `path` with `content` atomically *and exclusively* (tmp +
+/// fsync + link(2), which fails when `path` already exists). Returns false
+/// when `path` exists — the lease layer's claim race loser — and throws
+/// std::runtime_error on any other I/O failure. Like atomic_write_file,
+/// readers never observe a partially written file.
+bool atomic_create_file(const std::string& path, const std::string& content);
+
+/// Milliseconds on the system-wide monotonic clock (CLOCK_MONOTONIC: time
+/// since boot, immune to wall-clock steps and comparable across processes
+/// on the same host). Lease heartbeats are stamped with it, so an expiry
+/// check never trips over NTP adjustments. Not comparable across machines
+/// — the filesystem lease coordinator is a same-host protocol (the
+/// cross-machine TCP coordinator is a noted follow-on).
+std::int64_t monotonic_ms();
+
+}  // namespace taskdrop

@@ -1,0 +1,254 @@
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace taskdrop {
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& context)
+      : text_(text), context_(context) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  /// A truncated or corrupted file should name the exact place it broke,
+  /// so every error carries both the 1-based line and the byte offset.
+  [[noreturn]] void fail(const std::string& message) const {
+    const auto line =
+        1 + std::count(text_.begin(),
+                       text_.begin() + static_cast<std::ptrdiff_t>(pos_), '\n');
+    throw std::invalid_argument(context_ + ": " + message + " at line " +
+                                std::to_string(line) + ", offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_keyword(const char* word) {
+    const std::size_t length = std::string(word).size();
+    if (text_.compare(pos_, length, word) != 0) return false;
+    pos_ += length;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue value;
+    const char c = peek();
+    if (c == '{') {
+      value.kind = JsonValue::Kind::Object;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return value;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string_token();
+        skip_ws();
+        expect(':');
+        value.members.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return value;
+      }
+    }
+    if (c == '[') {
+      value.kind = JsonValue::Kind::Array;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return value;
+      }
+      for (;;) {
+        value.items.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return value;
+      }
+    }
+    if (c == '"') {
+      value.kind = JsonValue::Kind::String;
+      value.text = parse_string_token();
+      return value;
+    }
+    if (c == 't' || c == 'f') {
+      value.kind = JsonValue::Kind::Bool;
+      if (consume_keyword("true")) {
+        value.boolean = true;
+        return value;
+      }
+      if (consume_keyword("false")) return value;
+      fail("malformed literal");
+    }
+    if (c == 'n') {
+      if (consume_keyword("null")) return value;
+      fail("malformed literal");
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      value.kind = JsonValue::Kind::Number;
+      const std::size_t start = pos_;
+      if (peek() == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E' || text_[pos_] == '+' ||
+              text_[pos_] == '-')) {
+        ++pos_;
+      }
+      value.text = text_.substr(start, pos_ - start);
+      if (value.text.empty() || value.text == "-") fail("malformed number");
+      return value;
+    }
+    fail("unexpected character");
+  }
+
+  std::string parse_string_token() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        default: fail("unsupported string escape");
+      }
+    }
+  }
+
+  const std::string& text_;
+  const std::string& context_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text, const std::string& context) {
+  return JsonParser(text, context).parse();
+}
+
+const JsonValue* json_find(const JsonValue& object, const char* key) {
+  for (const auto& [name, value] : object.members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& json_require(const JsonValue& object, const char* key,
+                              const char* where, const std::string& context) {
+  const JsonValue* value = json_find(object, key);
+  if (value == nullptr) {
+    throw std::invalid_argument(context + ": missing \"" + std::string(key) +
+                                "\" in " + where);
+  }
+  return *value;
+}
+
+double json_double(const JsonValue& value, const char* where,
+                   const std::string& context) {
+  if (value.kind == JsonValue::Kind::Number) {
+    // The token scanner accepts any run of number characters, so demand
+    // strtod consumes the whole token — "1.2.3" must be a loud error,
+    // not a silently merged 1.2.
+    char* end = nullptr;
+    const double parsed = std::strtod(value.text.c_str(), &end);
+    if (end != value.text.c_str() + value.text.size()) {
+      throw std::invalid_argument(context + ": malformed number '" +
+                                  value.text + "' for " + std::string(where));
+    }
+    return parsed;
+  }
+  // Non-finite trial values round-trip as strings (see json_trial_number
+  // in metrics/report.cpp).
+  if (value.kind == JsonValue::Kind::String) {
+    if (value.text == "inf") return HUGE_VAL;
+    if (value.text == "-inf") return -HUGE_VAL;
+    if (value.text == "nan") return std::nan("");
+  }
+  throw std::invalid_argument(context + ": expected a number for " +
+                              std::string(where));
+}
+
+long long json_integer(const JsonValue& value, const char* where,
+                       const std::string& context) {
+  if (value.kind != JsonValue::Kind::Number ||
+      value.text.find_first_of(".eE") != std::string::npos) {
+    throw std::invalid_argument(context + ": expected an integer for " +
+                                std::string(where));
+  }
+  std::size_t consumed = 0;
+  long long parsed = 0;
+  try {
+    parsed = std::stoll(value.text, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(context + ": integer out of range for " +
+                                std::string(where));
+  }
+  if (consumed != value.text.size()) {
+    throw std::invalid_argument(context + ": malformed integer '" +
+                                value.text + "' for " + std::string(where));
+  }
+  return parsed;
+}
+
+const std::string& json_string(const JsonValue& value, const char* where,
+                               const std::string& context) {
+  if (value.kind != JsonValue::Kind::String) {
+    throw std::invalid_argument(context + ": expected a string for " +
+                                std::string(where));
+  }
+  return value.text;
+}
+
+}  // namespace taskdrop

@@ -142,6 +142,12 @@ expect_flag_error negative_watermark \
     serve "${serve_args[@]}" --shed-watermark=-3 --stream=/dev/null
 expect_flag_error missing_restore "cannot read /nonexistent/snap" \
     serve "${serve_args[@]}" --restore=/nonexistent/snap --stream=/dev/null
+expect_flag_error negative_snapshot_every \
+    "--snapshot-every must be a non-negative event count" \
+    serve "${serve_args[@]}" --snapshot-every=-5 --stream=/dev/null
+expect_flag_error snapshot_every_without_out \
+    "--snapshot-every needs --snapshot-out" \
+    serve "${serve_args[@]}" --snapshot-every=10 --stream=/dev/null
 
 if [[ $fails -ne 0 ]]; then
   echo "serve errors test: $fails check(s) failed" >&2

@@ -41,5 +41,51 @@ diff "$golden" "$tmp_dir/resumed.log"
     --restore="$tmp_dir/snapshot.txt" --snapshot-out="$tmp_dir/snapshot2.txt"
 diff "$tmp_dir/snapshot.txt" "$tmp_dir/snapshot2.txt"
 
-echo "serve resume smoke OK: killed after $half/$total lines," \
-     "resumed log is byte-identical to $(basename "$golden")"
+# --- Periodic checkpoints + a genuine mid-stream SIGKILL. ---------------
+# Feed exactly `every` effective events (blank/comment lines do not count)
+# through a fifo into a daemon running --snapshot-every=every: the single
+# checkpoint lands atomically right after event `every`'s decisions are
+# flushed. The daemon is then SIGKILLed while its stream is still open —
+# no clean shutdown, no EOF — and a fresh process restored from the
+# checkpoint serves the remainder. The concatenated decision logs must
+# again match the golden byte for byte.
+every=20
+cut_line=$(awk -v n="$every" '
+  !/^[ \t\r]*(#|$)/ { if (--n == 0) { print NR; exit } }
+' "$stream")
+head -n "$cut_line" "$stream" > "$tmp_dir/live.stream"
+tail -n +"$((cut_line + 1))" "$stream" > "$tmp_dir/rest.stream"
+
+fifo="$tmp_dir/events.fifo"
+mkfifo "$fifo"
+"$cli" serve "${serve_args[@]}" --stream="$fifo" \
+    --out="$tmp_dir/dec_kill.log" --stats-out="$tmp_dir/stats_kill.txt" \
+    --snapshot-out="$tmp_dir/checkpoint.txt" --snapshot-every="$every" &
+daemon=$!
+# Keep the fifo's write end open on fd 3 so the daemon never sees EOF:
+# the kill below genuinely lands mid-stream.
+exec 3> "$fifo"
+cat "$tmp_dir/live.stream" >&3
+for _ in $(seq 1 1000); do
+  [[ -s "$tmp_dir/checkpoint.txt" ]] && break
+  sleep 0.01
+done
+if [[ ! -s "$tmp_dir/checkpoint.txt" ]]; then
+  kill -9 "$daemon" 2>/dev/null || true
+  echo "serve_resume_smoke: periodic checkpoint never appeared" >&2
+  exit 1
+fi
+kill -9 "$daemon" 2>/dev/null || true
+wait "$daemon" 2>/dev/null || true
+exec 3>&-
+
+"$cli" serve "${serve_args[@]}" --stream="$tmp_dir/rest.stream" \
+    --out="$tmp_dir/dec_rest.log" --stats-out="$tmp_dir/stats_rest.txt" \
+    --restore="$tmp_dir/checkpoint.txt"
+cat "$tmp_dir/dec_kill.log" "$tmp_dir/dec_rest.log" \
+    > "$tmp_dir/checkpointed.log"
+diff "$golden" "$tmp_dir/checkpointed.log"
+
+echo "serve resume smoke OK: killed after $half/$total lines (snapshot)" \
+     "and SIGKILLed mid-stream after $every events (periodic checkpoint);" \
+     "both resumed logs are byte-identical to $(basename "$golden")"

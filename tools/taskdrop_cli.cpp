@@ -13,8 +13,12 @@
 
      taskdrop_cli sweep --spec=specs/grid.sweep --shard=0/3 --json \
                   --out=shard_0.json
+     taskdrop_cli sweep --spec=specs/grid.sweep --elastic \
+                  --lease-dir=leases [--lease-timeout=30000] \
+                  [--lease-units=N] [--bench-macro=BENCH_macro.json]
      taskdrop_cli merge shard_0.json shard_1.json shard_2.json \
-                  [--format=table|csv|json] [--out=merged.json]
+                  [--allow-reexecuted] [--format=table|csv|json] \
+                  [--out=merged.json]
 
      taskdrop_cli --list-scenarios --list-mappers --list-droppers
 
@@ -28,12 +32,24 @@
    such documents into the report the unsharded sweep would have produced,
    bit for bit (tools/sweep_shards.sh orchestrates both locally).
 
+   `--elastic` replaces the static partition with lease-based coordination
+   through --lease-dir (see src/exp/lease.hpp and the README's "Elastic
+   sweeps" section): any number of workers share the directory, claim
+   contiguous unit ranges, renew heartbeats while computing, and steal
+   ranges whose owner died (heartbeat older than --lease-timeout ms).
+   Results land as <dir>/lease_*.json; `merge --allow-reexecuted` over
+   them reproduces the unsharded report byte for byte, tolerating
+   re-executed (reclaimed) units only when their payloads are bitwise
+   identical. Re-launching against a partial directory resumes: landed
+   leases are skipped (tools/sweep_elastic_kill_test.sh proves both).
+
      taskdrop_cli serve --scenario=spec_hc --mapper=PAM --dropper=heuristic \
                   [--capacity=6] [--seed=42] [--on-deadline-miss] \
                   [--condition-running] [--volatile] [--approx] \
                   [--shed-watermark=N] [--shed-machine-backlog=N] \
                   [--on-error=abort|skip] [--restore=snap.txt] \
-                  [--snapshot-out=snap.txt] [--stream=events.stream] \
+                  [--snapshot-out=snap.txt] [--snapshot-every=N] \
+                  [--stream=events.stream] \
                   [--out=decisions.log] [--stats-out=stats.txt]
 
    `serve` runs the online admission service (src/online) as a daemon: it
@@ -63,7 +79,14 @@
                                  the decision log and keep serving; bad
                                  lines never mutate scheduler state.
      --snapshot-out=F            write a versioned text snapshot of full
-                                 scheduler state at clean shutdown
+                                 scheduler state at clean shutdown (the
+                                 write is atomic: tmp + rename, so a kill
+                                 mid-write never leaves a torn file)
+     --snapshot-every=N          additionally checkpoint to --snapshot-out
+                                 every N processed events (atomic, decision
+                                 log flushed first); a daemon killed
+                                 mid-stream resumes from the last
+                                 checkpoint via --restore
      --restore=F                 restore a snapshot before reading the
                                  stream (same scenario/mapper/dropper
                                  flags required; validated). A daemon
@@ -91,9 +114,11 @@
 
 #include "cost/cost_model.hpp"
 #include "exp/experiment.hpp"
+#include "exp/lease.hpp"
 #include "exp/sweep.hpp"
 #include "metrics/report.hpp"
 #include "online/online_scheduler.hpp"
+#include "util/atomic_file.hpp"
 #include "util/flags.hpp"
 #include "util/spec_parser.hpp"
 #include "util/stats.hpp"
@@ -204,22 +229,18 @@ int run_single(const Flags& flags) {
   return 0;
 }
 
-/// Opens --out when given, else stdout; `write` receives the stream.
+/// Renders through `write` to --out (atomically: a killed process never
+/// leaves a truncated report for a later merge to half-read) or stdout.
 int emit_to_out(const Flags& flags,
                 const std::function<void(std::ostream&)>& write) {
-  std::ofstream file;
-  std::ostream* out = &std::cout;
-  if (flags.has("out")) {
-    file.open(flags.get("out", ""));
-    if (!file) {
-      throw std::runtime_error("cannot write " + flags.get("out", ""));
-    }
-    out = &file;
+  if (!flags.has("out")) {
+    write(std::cout);
+    return 0;
   }
-  write(*out);
-  if (flags.has("out")) {
-    std::cout << "wrote " << flags.get("out", "") << "\n";
-  }
+  std::ostringstream buffer;
+  write(buffer);
+  atomic_write_file(flags.get("out", ""), buffer.str());
+  std::cout << "wrote " << flags.get("out", "") << "\n";
   return 0;
 }
 
@@ -229,7 +250,10 @@ int run_sweep_command(const Flags& flags) {
   // silently run the wrong grid — reject anything that is neither a spec
   // key nor a sweep option. "full" can appear via the REPRO_FULL fold-in.
   static const std::vector<std::string> kSweepOptions = {
-      "spec", "csv", "json", "out", "progress", "threads", "shard", "full"};
+      "spec",        "csv",           "json",        "out",
+      "progress",    "threads",       "shard",       "elastic",
+      "lease-dir",   "lease-timeout", "lease-units", "bench-macro",
+      "full"};
   for (const std::string& key : flags.keys()) {
     const auto& spec_keys = sweep_spec_keys();
     const bool known =
@@ -244,6 +268,12 @@ int run_sweep_command(const Flags& flags) {
           "; options: " + join_spec_list(kSweepOptions) + ")");
     }
   }
+
+  // run/serve parity for --seed: a negative value must be the same
+  // "--seed must be non-negative" error, not a spec-layer unsigned-parse
+  // complaint (the value itself still flows through the spec map below,
+  // so malformed text keeps its spec diagnostics).
+  if (flags.has("seed")) seed_from_flags(flags);
 
   SpecMap map;
   if (flags.has("spec")) {
@@ -282,13 +312,62 @@ int run_sweep_command(const Flags& flags) {
   }
   const SweepSpec spec = SweepSpec::from_map(map);
 
-  SweepOptions options;
   const std::int64_t threads = flags.get_int("threads", 0);
   if (threads < 0 || threads > 4096) {
     throw std::invalid_argument("--threads must be in [0, 4096] (0 = "
                                 "hardware concurrency), got " +
                                 std::to_string(threads));
   }
+
+  if (flags.get_bool("elastic")) {
+    if (flags.has("shard")) {
+      throw std::invalid_argument(
+          "--elastic and --shard are mutually exclusive: leases replace "
+          "the static partition");
+    }
+    if (flags.has("out") || flags.get_bool("json") || flags.get_bool("csv")) {
+      throw std::invalid_argument(
+          "--elastic writes mergeable lease documents into --lease-dir; "
+          "render with `taskdrop_cli merge <dir>/lease_*.json "
+          "--allow-reexecuted` instead of --json/--csv/--out");
+    }
+    ElasticSweepOptions elastic;
+    elastic.lease_dir = flags.get("lease-dir", "");
+    if (elastic.lease_dir.empty()) {
+      throw std::invalid_argument("--elastic requires --lease-dir");
+    }
+    const std::int64_t timeout = flags.get_int("lease-timeout", 30000);
+    if (timeout < 1) {
+      throw std::invalid_argument(
+          "--lease-timeout must be a positive millisecond count, got " +
+          std::to_string(timeout));
+    }
+    elastic.lease_timeout_ms = timeout;
+    const std::int64_t lease_units = flags.get_int("lease-units", 0);
+    if (lease_units < 0) {
+      throw std::invalid_argument(
+          "--lease-units must be >= 0 (0 sizes leases from the cost "
+          "model), got " + std::to_string(lease_units));
+    }
+    elastic.lease_units = static_cast<std::size_t>(lease_units);
+    elastic.bench_macro_path = flags.get("bench-macro", "");
+    elastic.threads = static_cast<std::size_t>(threads);
+    if (flags.get_bool("progress")) {
+      elastic.on_event = [](const std::string& line) {
+        std::cerr << "elastic: " << line << "\n";
+      };
+    }
+    const ElasticSweepStats stats = run_sweep_elastic(spec, elastic);
+    std::cout << "elastic sweep: " << spec.name
+              << "  leases=" << stats.leases_total
+              << " run=" << stats.leases_run
+              << " stolen=" << stats.leases_stolen
+              << " skipped=" << stats.leases_skipped
+              << " dir=" << elastic.lease_dir << "\n";
+    return 0;
+  }
+
+  SweepOptions options;
   options.threads = static_cast<std::size_t>(threads);
   if (flags.has("shard")) {
     const std::string text = flags.get("shard", "");
@@ -343,8 +422,8 @@ int run_merge_command(const Flags& flags,
                       const std::vector<std::string>& files) {
   // "full" can appear via the REPRO_FULL fold-in (it scales sweeps, not
   // merges, but must not make merge refuse to run).
-  static const std::vector<std::string> kMergeOptions = {"format", "out",
-                                                         "full"};
+  static const std::vector<std::string> kMergeOptions = {
+      "format", "out", "allow-reexecuted", "full"};
   for (const std::string& key : flags.keys()) {
     if (std::find(kMergeOptions.begin(), kMergeOptions.end(), key) ==
         kMergeOptions.end()) {
@@ -376,7 +455,9 @@ int run_merge_command(const Flags& flags,
       throw std::invalid_argument(path + ": " + error.what());
     }
   }
-  const SweepReport report = merge_sweep_reports(shards);
+  MergeOptions merge_options;
+  merge_options.allow_reexecuted = flags.get_bool("allow-reexecuted");
+  const SweepReport report = merge_sweep_reports(shards, merge_options);
 
   return emit_to_out(flags, [&](std::ostream& out) {
     if (format == "json") {
@@ -464,7 +545,7 @@ int run_serve_command(const Flags& flags) {
       "seed",     "on-deadline-miss", "condition-running", "volatile",
       "approx",   "stream",   "out",              "stats-out",
       "shed-watermark", "shed-machine-backlog", "on-error",
-      "snapshot-out", "restore",
+      "snapshot-out", "snapshot-every", "restore",
       "full"};
   for (const std::string& key : flags.keys()) {
     if (std::find(kServeOptions.begin(), kServeOptions.end(), key) ==
@@ -480,6 +561,16 @@ int run_serve_command(const Flags& flags) {
                                 on_error + "'");
   }
   const bool skip_bad_lines = on_error == "skip";
+  const std::int64_t snapshot_every = flags.get_int("snapshot-every", 0);
+  if (snapshot_every < 0) {
+    throw std::invalid_argument(
+        "--snapshot-every must be a non-negative event count (0 disables "
+        "periodic checkpoints), got " + std::to_string(snapshot_every));
+  }
+  if (snapshot_every > 0 && !flags.has("snapshot-out")) {
+    throw std::invalid_argument(
+        "--snapshot-every needs --snapshot-out to name the checkpoint file");
+  }
 
   const ScenarioKind kind =
       scenario_from_name(flags.get("scenario", "spec_hc"));
@@ -670,6 +761,16 @@ int run_serve_command(const Flags& flags) {
           }
           *out << decision << '\n';
         }
+        // Periodic crash checkpoint: the decision log is flushed first so
+        // the snapshot never claims events whose decisions have not hit the
+        // log yet, and the write is atomic so a kill mid-checkpoint leaves
+        // the previous snapshot intact.
+        if (snapshot_every > 0 && events_seen % snapshot_every == 0) {
+          out->flush();
+          std::ostringstream snap;
+          scheduler.snapshot(snap);
+          atomic_write_file(flags.get("snapshot-out", ""), snap.str());
+        }
       } catch (const std::exception& error) {
         if (!skip_bad_lines) {
           throw std::runtime_error("stream line " + std::to_string(line_no) +
@@ -694,16 +795,9 @@ int run_serve_command(const Flags& flags) {
   // Clean shutdown only: a snapshot taken mid-error would freeze a clock
   // the operator does not know the position of.
   if (!teardown_error && flags.has("snapshot-out")) {
-    std::ofstream snapshot_out(flags.get("snapshot-out", ""));
-    if (!snapshot_out) {
-      throw std::runtime_error("cannot write " +
-                               flags.get("snapshot-out", ""));
-    }
-    scheduler.snapshot(snapshot_out);
-    if (!snapshot_out.flush()) {
-      throw std::runtime_error("short write to " +
-                               flags.get("snapshot-out", ""));
-    }
+    std::ostringstream snap;
+    scheduler.snapshot(snap);
+    atomic_write_file(flags.get("snapshot-out", ""), snap.str());
   }
 
   const double kernel_ns = latency_ns.total();
