@@ -7,8 +7,15 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/sandbox.hpp"
+#include "prob/convolution.hpp"
+// layering-allow(fft-plan): the wide-PMF benches toggle the crossover gate
+// directly to measure direct-vs-FFT on the same inputs.
+#include "prob/fft.hpp"
+#include "util/rng.hpp"
 #include "workload/scenario.hpp"
 
 namespace {
@@ -20,10 +27,11 @@ const Scenario& scenario() {
   return s;
 }
 
-std::unique_ptr<SystemSandbox> make_queue(int depth) {
+std::unique_ptr<SystemSandbox> make_queue(
+    int depth, CompletionModel::Options options = {}) {
   const Scenario& scn = scenario();
   auto sandbox = std::make_unique<SystemSandbox>(
-      scn.pet, std::vector<MachineTypeId>{0}, depth + 2);
+      scn.pet, std::vector<MachineTypeId>{0}, depth + 2, /*now=*/0, options);
   const double mean = scn.pet.mean_overall();
   for (int i = 0; i < depth; ++i) {
     sandbox->enqueue(0, static_cast<TaskTypeId>(i % scn.pet.task_type_count()),
@@ -103,6 +111,133 @@ void BM_DeepWindowChance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeepWindowChance)->RangeMultiplier(2)->Range(8, 64);
+
+/// Dense random PMF with `bins` lattice points — the wide-support regime
+/// (deep provisional chains, heavy-tailed execution histograms) where the
+/// O(n*m) direct kernel stops being free.
+Pmf wide_pmf(std::size_t bins, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Tick, double>> points;
+  points.reserve(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    points.emplace_back(static_cast<Tick>(i + 8), rng.uniform01());
+  }
+  Pmf pmf = Pmf::from_impulses(std::move(points), 1);
+  pmf.normalize();
+  return pmf;
+}
+
+/// RAII pin of the FFT crossover gate, so a bench measures one kernel
+/// unconditionally and the process-global default is restored afterwards.
+struct FftGatePin {
+  explicit FftGatePin(std::size_t min_bins) : saved(fft_min_bins()) {
+    set_fft_min_bins(min_bins);
+  }
+  ~FftGatePin() { set_fft_min_bins(saved); }
+  std::size_t saved;
+};
+
+/// Direct-vs-FFT on equal-width operands: the crossover curve. The per-size
+/// ratio of the two registrations is what kDefaultFftMinBins documents.
+void BM_WideConvolve(benchmark::State& state, bool use_fft) {
+  const auto bins = static_cast<std::size_t>(state.range(0));
+  const Pmf a = wide_pmf(bins, 101);
+  const Pmf b = wide_pmf(bins, 202);
+  const FftGatePin pin(use_fft ? 2 : 0);
+  PmfWorkspace ws;
+  Pmf out;
+  for (auto _ : state) {
+    convolve_into(a, b, ws, out);
+    benchmark::DoNotOptimize(out.mass_before(static_cast<Tick>(bins)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK_CAPTURE(BM_WideConvolve, direct, false)
+    ->RangeMultiplier(2)
+    ->Range(64, 8192)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_WideConvolve, fft, true)
+    ->RangeMultiplier(2)
+    ->Range(64, 8192)
+    ->Complexity();
+
+/// Deadline-truncated variant on wide operands, deadline mid-support so
+/// half the predecessor mass convolves and half passes through — the Eq. 1
+/// shape the chain walks actually execute.
+void BM_WideDeadlineConvolve(benchmark::State& state, bool use_fft) {
+  const auto bins = static_cast<std::size_t>(state.range(0));
+  const Pmf pred = wide_pmf(bins, 303);
+  const Pmf exec = wide_pmf(bins, 404);
+  const Tick deadline = (pred.min_time() + pred.max_time()) / 2;
+  const FftGatePin pin(use_fft ? 2 : 0);
+  PmfWorkspace ws;
+  Pmf out;
+  for (auto _ : state) {
+    deadline_convolve_into(pred, exec, deadline, ws, out);
+    benchmark::DoNotOptimize(out.mass_before(deadline));
+  }
+}
+BENCHMARK_CAPTURE(BM_WideDeadlineConvolve, direct, false)
+    ->RangeMultiplier(2)
+    ->Range(512, 8192);
+BENCHMARK_CAPTURE(BM_WideDeadlineConvolve, fft, true)
+    ->RangeMultiplier(2)
+    ->Range(512, 8192);
+
+/// Conditioned clock advance on a running deep queue: with chain-keeping
+/// the set_now inside the keep window is a revision bump and the query a
+/// memo hit; the paranoid registration rebuilds the whole chain per step —
+/// exactly what every mapping event paid before this optimisation.
+void BM_ConditionedAdvance(benchmark::State& state, bool paranoid) {
+  const int depth = static_cast<int>(state.range(0));
+  CompletionModel::Options options;
+  options.condition_running = true;
+  options.paranoid_rebuild = paranoid;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sandbox = make_queue(depth, options);
+    sandbox->set_running(0, 0);
+    sandbox->model(0).instantaneous_robustness();  // warm the chain cache
+    state.ResumeTiming();
+    double sum = 0.0;
+    for (Tick t = 1; t <= 32; ++t) {
+      sandbox->set_now(t);
+      sum += sandbox->model(0).instantaneous_robustness();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK_CAPTURE(BM_ConditionedAdvance, keep, false)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+BENCHMARK_CAPTURE(BM_ConditionedAdvance, rebuild, true)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+
+/// The failure-path fix: a head start on an up machine of a *volatile*
+/// fleet. Chain-keeping recognises the start as the cached slot-0 root and
+/// answers the tail query from the memo; the paranoid registration is the
+/// old blanket invalidate, which re-convolves the entire queue.
+void BM_VolatileHeadStart(benchmark::State& state, bool paranoid) {
+  const int depth = static_cast<int>(state.range(0));
+  CompletionModel::Options options;
+  options.paranoid_rebuild = paranoid;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sandbox = make_queue(depth, options);
+    sandbox->model(0).instantaneous_robustness();  // warm the chain cache
+    state.ResumeTiming();
+    sandbox->set_running(0, 0);
+    benchmark::DoNotOptimize(
+        sandbox->model(0).chance(static_cast<std::size_t>(depth) - 1));
+  }
+}
+BENCHMARK_CAPTURE(BM_VolatileHeadStart, keep, false)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+BENCHMARK_CAPTURE(BM_VolatileHeadStart, rebuild, true)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
 
 }  // namespace
 

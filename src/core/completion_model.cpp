@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -53,7 +54,20 @@ void CompletionModel::set_now(Tick now) {
   if (machine_->running) {
     // The conditioned running-task PMF depends on `now`; the unconditioned
     // one is rooted at run_start and survives time advancing.
-    if (options_.condition_running) invalidate_all();
+    if (options_.condition_running) {
+      if (!options_.paranoid_rebuild && valid_count_ > 0 &&
+          now_ < cond_keep_below_) {
+        // The conditioned slot 0 is bitwise unchanged while now stays
+        // strictly below its first kept bin (see cond_keep_below_), so the
+        // chain built on it — and the value memos keyed on chain_version_ —
+        // stay valid. Revision-keyed consumers observe the advance exactly
+        // as they would have across the invalidate-and-rebuild this
+        // replaces, and the rebuilt values would have been bit-identical.
+        bump_revision();
+      } else {
+        invalidate_all();
+      }
+    }
   } else if (!machine_->queue.empty()) {
     // A non-running machine with queued tasks — a failure holding the
     // machine down, or (live mode) a Start offer the environment has not
@@ -65,6 +79,23 @@ void CompletionModel::set_now(Tick now) {
   }
   // An idle machine with an empty queue has no cached positions; the
   // refreshed base_ alone covers it.
+}
+
+void CompletionModel::notify_head_started(Tick deadline) {
+  // Keep precondition (see the header): the cached slot 0, when cached at
+  // all, is rooted at delta(now_) — set_now rebases non-running machines
+  // with queued tasks on every advance — and for run_start == now_ <
+  // deadline the pending slot's deadline truncation was vacuous, making
+  // the pending and running slot-0 kernels bit-identical (a delta
+  // predecessor entirely below the deadline convolves with no pass-through
+  // term, which is exactly the running branch's plain convolution).
+  if (options_.paranoid_rebuild || options_.condition_running ||
+      machine_ == nullptr || !machine_->running ||
+      machine_->run_start != now_ || now_ >= deadline) {
+    invalidate_all();
+    return;
+  }
+  bump_revision();
 }
 
 void CompletionModel::invalidate_from(std::size_t pos) {
@@ -97,22 +128,31 @@ void CompletionModel::compute_running_completion(Pmf& out) {
   convolve_into(start_, exec, workspace(), out);
   if (options_.condition_running) {
     // Condition on "not finished yet": strip mass at or before now_ and
-    // renormalise. If every bin is at or before now_ the task is about to
-    // complete; keep the last bin as a degenerate point mass. (Ablation
-    // path — not allocation-free, and it does not need to be.)
-    std::vector<std::pair<Tick, double>> kept;
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      if (out.time_at(i) > now_ && out.prob_at_index(i) > 0.0) {
-        kept.emplace_back(out.time_at(i), out.prob_at_index(i));
-      }
+    // renormalise, in place. Sliced bins reproduce the dense lattice the
+    // old from_impulses build produced (interior zeros included) bit for
+    // bit, and normalize() divides by the same dense-order mass sum — so
+    // the conditioned PMF is bitwise identical to the allocating build the
+    // audit reference still performs, with no per-rebuild allocation. If
+    // every bin is at or before now_ the task is about to complete; keep
+    // the last bin as a degenerate point mass.
+    std::size_t first = 0;
+    while (first < out.size() && (out.time_at(first) <= now_ ||
+                                  !(out.prob_at_index(first) > 0.0))) {
+      ++first;
     }
-    if (kept.empty()) {
+    if (first == out.size()) {
       set_delta(out, out.max_time());
+      // Degenerate point masses stay degenerate as now advances further:
+      // the kept set can only stay empty.
+      cond_keep_below_ = std::numeric_limits<Tick>::max();
       return;
     }
-    Pmf conditioned = Pmf::from_impulses(std::move(kept), out.stride());
-    conditioned.normalize();
-    out = conditioned;
+    std::size_t last = out.size();
+    while (!(out.prob_at_index(last - 1) > 0.0)) --last;
+    out.slice(first, last);
+    out.normalize();
+    // The conditioned slot is unchanged until now reaches its first bin.
+    cond_keep_below_ = out.min_time();
   }
 }
 

@@ -56,6 +56,13 @@ class CompletionModel {
     /// Approximate-computing extension: the time-scaled PET consulted for
     /// tasks whose `approximate` flag is set. Null disables the extension.
     const PetMatrix* approx_pet = nullptr;
+    /// Test knob: disables every chain-keep fast path (the conditioned
+    /// set_now keep and the notify_head_started keep), forcing the
+    /// conservative invalidate-and-rebuild behaviour those paths replaced.
+    /// The chain-keep differential suites run both settings and require
+    /// bitwise-identical chains and decisions. Decision-neutral by
+    /// construction, so it is not part of any serialised configuration.
+    bool paranoid_rebuild = false;
   };
 
   CompletionModel() = default;
@@ -73,6 +80,22 @@ class CompletionModel {
   /// Invalidates cached completion PMFs from queue position `pos` on.
   void invalidate_from(std::size_t pos);
   void invalidate_all() { invalidate_from(0); }
+
+  /// The queue head just transitioned from pending to running with
+  /// run_start == now (a Start event). When the cached slot 0 is still
+  /// rooted at delta(now) — guaranteed whenever anything is cached, because
+  /// set_now rebases every non-running machine with a non-empty queue on
+  /// each time advance — and the head started strictly before `deadline`,
+  /// the pending slot's deadline truncation was vacuous and the running
+  /// slot is bit-identical to it: the whole chain plus the value memos
+  /// keyed on it stay valid, and only the revision is bumped (see
+  /// bump_revision for why consumers must still observe the start). Falls
+  /// back to invalidate_all whenever the keep precondition does not hold —
+  /// conditioning enabled (normalize rescales slot 0 even when nothing is
+  /// stripped), run_start != now, a start at or past the deadline, or the
+  /// paranoid_rebuild knob. Replaces the blanket invalidate the failure
+  /// and volatile-machine paths used to pay on every start.
+  void notify_head_started(Tick deadline);
 
   /// Bumps the revision without touching the cached chain. The engine
   /// calls this when a queue head starts executing with run_start == now:
@@ -204,6 +227,13 @@ class CompletionModel {
   const std::vector<Task>* tasks_ = nullptr;
   Options options_;
   Tick now_ = 0;
+
+  /// First kept bin of the conditioned running-task slot (valid while the
+  /// machine is running, condition_running is set, and valid_count_ > 0):
+  /// the conditioned slot 0 is bitwise unchanged while now_ stays strictly
+  /// below it, because the stripped bin set and the renormalising mass are
+  /// both unchanged. Degenerate point masses keep forever (Tick max).
+  Tick cond_keep_below_ = 0;
 
   /// delta(now_): the idle machine's start-availability distribution. Kept
   /// materialised so predecessor()/ensure() never build temporaries.

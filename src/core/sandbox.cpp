@@ -76,7 +76,15 @@ void SystemSandbox::set_running(MachineId machine_id, Tick run_start) {
   task.start_time = run_start;
   machine.running = true;
   machine.run_start = run_start;
-  models_[static_cast<std::size_t>(machine_id)].invalidate_all();
+  if (run_start == now_) {
+    // A head starting "now" is the keep-eligible Start event; the model
+    // falls back to a full invalidate itself whenever the keep
+    // precondition fails (conditioning on, start at/past the deadline).
+    models_[static_cast<std::size_t>(machine_id)].notify_head_started(
+        task.deadline);
+  } else {
+    models_[static_cast<std::size_t>(machine_id)].invalidate_all();
+  }
 }
 
 void SystemSandbox::set_now(Tick now) {

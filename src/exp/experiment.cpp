@@ -28,6 +28,7 @@ TrialMetrics run_trial(const ExperimentConfig& config,
   engine_config.queue_capacity = config.queue_capacity;
   engine_config.engagement = config.engagement;
   engine_config.condition_running = config.condition_running;
+  engine_config.paranoid_invalidate = config.paranoid_invalidate;
   engine_config.exec_seed = Rng::derive(config.seed, 1000 + trial)();
   engine_config.failures = config.failures;
   engine_config.failures.seed = Rng::derive(config.seed, 2000 + trial)();

@@ -21,6 +21,11 @@ struct ExperimentConfig {
   DropperConfig dropper = DropperConfig::heuristic();
   DropperEngagement engagement = DropperEngagement::EveryMappingEvent;
   bool condition_running = false;
+  /// Forces the conservative invalidate-and-rebuild completion-model paths
+  /// instead of the chain-keeping fast paths. Decision-neutral by
+  /// construction — exists for bitwise A/B regression tests and the macro
+  /// benchmarks that quantify what the keeps buy.
+  bool paranoid_invalidate = false;
 
   WorkloadConfig workload;
   int queue_capacity = 6;

@@ -37,6 +37,7 @@ OnlineScheduler::OnlineScheduler(const PetMatrix& pet,
   CompletionModel::Options options;
   options.condition_running = config_.condition_running;
   options.approx_pet = approx_pet_ ? &*approx_pet_ : nullptr;
+  options.paranoid_rebuild = config_.paranoid_invalidate;
   models_.reserve(machines_.size());
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     models_.emplace_back(&pet_, &machines_[m], &tasks_, options, &model_ws_);
@@ -178,25 +179,22 @@ void OnlineScheduler::task_started(Tick t, MachineId machine_id, TaskId task_id,
   machine.run_end = duration >= 0 ? now_ + duration : kNeverTick;
   ++machine.run_token;
   start_offered_[static_cast<std::size_t>(machine_id)] = -1;
-  if (config_.condition_running || config_.volatile_machines) {
-    // Conditioning makes the running PMF depend on `now`; volatile machines
-    // can leave a queue idle across a time gap, so the cached chain may be
-    // rooted at an older base than run_start. Both need the rebuild.
-    models_[static_cast<std::size_t>(machine_id)].invalidate_all();
-  } else {
-    // The cached chain stays valid bit for bit: the head starts at
-    // run_start == now, so its running completion delta(run_start) (x)
-    // exec equals the cached pending chain rooted at base = delta(now)
-    // — the deadline truncation is vacuous because a late head is never
-    // started (asserted above), and if time advanced since the chain was
-    // last rooted (a delayed live-mode confirmation), advance_clock's
-    // set_now already rebased this idle machine's chain. Keeping the chain
-    // saves a full queue-chain rebuild per task start — the main
-    // convolution source in steady state — while the revision bump still
-    // schedules the droppers' re-examination exactly as the rebuild used
-    // to (see CompletionModel::bump_revision).
-    models_[static_cast<std::size_t>(machine_id)].bump_revision();
-  }
+  // The cached chain stays valid bit for bit whenever the head starts at
+  // run_start == now strictly before its deadline (asserted above): the
+  // running completion delta(run_start) (x) exec equals the cached pending
+  // chain rooted at base = delta(now) — the deadline truncation was
+  // vacuous — and if time advanced since the chain was last rooted (an
+  // idle gap on a volatile machine, a delayed live-mode confirmation),
+  // advance_clock's set_now already rebased this idle machine's chain.
+  // notify_head_started keeps the chain in that case and bumps the
+  // revision so the droppers' re-examination is scheduled exactly as the
+  // rebuild used to; it falls back to the full invalidate itself when
+  // conditioning is on (normalize rescales slot 0 even when nothing is
+  // stripped) or the keep precondition fails. This retires the blanket
+  // invalidate that made every start under failure injection pay a full
+  // queue-chain rebuild — the main convolution source in steady state.
+  models_[static_cast<std::size_t>(machine_id)].notify_head_started(
+      task.deadline);
 }
 
 const std::vector<Decision>& OnlineScheduler::task_finished(Tick t,

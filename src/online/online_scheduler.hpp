@@ -75,10 +75,21 @@ struct OnlineConfig {
   /// yet" (see CompletionModel::Options).
   bool condition_running = false;
   /// Declare that machines may go down (machine_down can be called).
-  /// Controls the start-time chain-keep optimisation only — decisions are
-  /// unaffected; a down machine can leave a queue idle across a time gap,
-  /// which forces the conservative chain rebuild on task starts.
+  /// Retained for configuration echo (snapshots) and as documentation of
+  /// the driver's intent; since the chain-keep refactor it no longer
+  /// changes behaviour — CompletionModel::notify_head_started decides
+  /// per start whether the cached chain is keepable (it always is on an
+  /// up machine whose chain set_now rebased across the idle gap), so
+  /// volatile fleets get the same start-time keep as stable ones, with
+  /// bit-identical decisions.
   bool volatile_machines = false;
+  /// Test knob: force the conservative invalidate-and-rebuild on every
+  /// task start and time advance (CompletionModel::Options::
+  /// paranoid_rebuild). The chain-keep regression suites run a paranoid
+  /// scheduler against a default one and require bit-identical decision
+  /// streams. Decision-neutral by construction — deliberately NOT part of
+  /// the snapshot config echo.
+  bool paranoid_invalidate = false;
   ApproxModel approx;
   /// Overload shedding; inactive by default (see ShedPolicy).
   ShedPolicy shed;

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace taskdrop {
+
+/// Radix-2 real-sequence linear convolution for the wide-PMF regime.
+///
+/// Both real inputs are packed into one complex sequence (a in the real
+/// lane, b in the imaginary lane), transformed with a single iterative
+/// radix-2 FFT, unpacked by conjugate symmetry, multiplied, and inverted —
+/// two transforms total instead of three. The plan owns the transform
+/// buffers and per-size twiddle tables, so steady-state calls are
+/// allocation-free once the largest size has been seen.
+///
+/// Numerics: the result of a size-n transform is a pure function of the
+/// inputs and n (twiddle tables are computed per exact butterfly size, never
+/// resampled from a larger table), so equal inputs give bit-equal outputs
+/// regardless of what the plan transformed before. Round-off is bounded by
+/// O(eps * log n) relative to the direct sum — the differential suite locks
+/// 1e-12 absolute agreement — and tiny negative round-off in bins whose
+/// exact value is 0 is clamped to +0.0 so downstream trim/mass logic never
+/// sees a negative probability.
+///
+/// This path does NOT preserve the direct kernels' summation order; callers
+/// that need bit-identity with the scalar reference (every figure path) must
+/// stay below the dispatch crossover. See fft_profitable().
+class FftPlan {
+ public:
+  /// Linear convolution of a[0..na) with b[0..nb): writes the na+nb-1
+  /// coefficients of the product polynomial to out[0..na+nb-1). `out` must
+  /// not alias `a` or `b`. Requires na >= 1 and nb >= 1.
+  void convolve(const double* a, std::size_t na, const double* b,
+                std::size_t nb, double* out);
+
+ private:
+  /// In-place forward DFT of (re, im), n a power of two, using the cached
+  /// twiddle tables. Inversion is forward-on-conjugate, done by the caller.
+  void forward(double* re, double* im, std::size_t n);
+
+  /// Twiddles for butterfly size 1 << (level + 1); lazily built, each a pure
+  /// function of its own size.
+  struct Twiddles {
+    std::vector<double> re, im;
+  };
+  const Twiddles& level(std::size_t idx);
+
+  std::vector<Twiddles> levels_;
+  std::vector<double> re_, im_;
+};
+
+/// Crossover gate for the FFT dispatch in convolve_into /
+/// deadline_convolve_into: the FFT path runs only when *both* operands have
+/// at least this many bins. The default is the measured break-even on the
+/// micro_chain wide-PMF curve (see README and bench/micro_chain.cpp); the
+/// paper's execution-time PMFs are far narrower, so every figure
+/// configuration stays on the order-preserving direct kernels.
+std::size_t fft_min_bins();
+
+/// Overrides the crossover. 0 disables the FFT path entirely; small values
+/// (e.g. 2) force it on. Test and bench hook — not used by production
+/// configs. Thread-safe (relaxed atomic); takes effect on the next call.
+void set_fft_min_bins(std::size_t bins);
+
+/// True when the (na, nb) convolution should take the FFT path.
+bool fft_profitable(std::size_t na, std::size_t nb);
+
+}  // namespace taskdrop

@@ -62,6 +62,25 @@ void Pmf::assign(Tick offset, Tick stride, const double* first,
   }
 }
 
+void Pmf::slice(std::size_t first, std::size_t last) {
+  if (first > last || last > probs_.size()) {
+    throw std::invalid_argument("Pmf::slice: invalid bin range");
+  }
+  if (first == last) {
+    probs_.clear();
+    offset_ = 0;
+    stride_ = 1;
+    return;
+  }
+  if (first > 0) {
+    std::move(probs_.begin() + static_cast<std::ptrdiff_t>(first),
+              probs_.begin() + static_cast<std::ptrdiff_t>(last),
+              probs_.begin());
+    offset_ += static_cast<Tick>(first) * stride_;
+  }
+  probs_.resize(last - first);
+}
+
 double Pmf::prob_at(Tick t) const {
   if (empty() || t < offset_ || (t - offset_) % stride_ != 0) return 0.0;
   const auto i = static_cast<std::size_t>((t - offset_) / stride_);

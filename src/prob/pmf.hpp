@@ -55,6 +55,13 @@ class Pmf {
   void assign(Tick offset, Tick stride, const double* first,
               const double* last);
 
+  /// Keeps only the bin index range [first, last) in place, rebasing the
+  /// offset; no allocation, unlike assign() with overlapping pointers
+  /// (which would be UB through vector::assign). An empty range resets to
+  /// the empty PMF. Used by the conditioned-completion path to strip the
+  /// already-elapsed prefix of a running task's completion PMF.
+  void slice(std::size_t first, std::size_t last);
+
   bool empty() const { return probs_.empty(); }
   std::size_t size() const { return probs_.size(); }
   Tick stride() const { return stride_; }

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "prob/fft.hpp"
 #include "prob/pmf.hpp"
 
 namespace taskdrop {
@@ -34,6 +35,11 @@ class PmfWorkspace {
   /// the droppers' provisional chains). Kernels never touch it, so a chain
   /// held here may be passed as both input and output of the *_into calls.
   Pmf chain;
+
+  /// FFT plan + scratch for the wide-PMF convolution path (see fft.hpp).
+  /// Owned here so its transform buffers and twiddle tables amortize across
+  /// calls exactly like the accumulation buffer does.
+  FftPlan fft;
 
  private:
   std::vector<double> acc_;

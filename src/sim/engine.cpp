@@ -50,6 +50,7 @@ void Engine::reset(const Trace& trace) {
   online.engagement = config_.engagement;
   online.condition_running = config_.condition_running;
   online.volatile_machines = config_.failures.enabled;
+  online.paranoid_invalidate = config_.paranoid_invalidate;
   online.approx = config_.approx;
   sched_.emplace(pet_, machine_type_of_, mapper_, dropper_, online);
   sched_->reserve_tasks(trace.size());

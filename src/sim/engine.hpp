@@ -42,6 +42,11 @@ struct EngineConfig {
   bool condition_running = false;
   /// Seed of the ground-truth execution-time sampling stream.
   std::uint64_t exec_seed = 7;
+  /// Test knob: forwarded to OnlineConfig::paranoid_invalidate — forces
+  /// conservative invalidate-and-rebuild chain maintenance. Decision
+  /// streams and SimResults must be bit-identical either way; the
+  /// chain-keep regression suites assert exactly that.
+  bool paranoid_invalidate = false;
   FailureModel failures;
   ApproxModel approx;
 };

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <tuple>
 #include <vector>
 
 #include "pet/pet_builder.hpp"
@@ -48,8 +49,9 @@ struct ChainHarness {
 
   /// A model bound to the current state with nothing cached: queries
   /// recompute the whole chain from scratch.
-  CompletionModel fresh_model(Tick now) {
-    CompletionModel model(&pet, &machine, &tasks, {});
+  CompletionModel fresh_model(Tick now,
+                              CompletionModel::Options options = {}) {
+    CompletionModel model(&pet, &machine, &tasks, options);
     model.set_now(now);
     return model;
   }
@@ -216,6 +218,113 @@ TEST_P(CompletionIncrementalTest, ChanceMonotoneUnderDeadlineTightening) {
 
 INSTANTIATE_TEST_SUITE_P(SeededSequences, CompletionIncrementalTest,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+/// Chain-keeping lockdown for the conditioned and failure paths.
+///
+/// Drives random start / complete / fail / drop / advance scripts with
+/// *production* invalidation hints — notify_head_started on starts, set_now
+/// (with its conditioned keep) on advances — against two witnesses at every
+/// step: an identically-driven paranoid_rebuild model (every keep fast path
+/// disabled, i.e. the pre-refactor conservative invalidation) and a
+/// from-scratch rebuild. All three chains must be bitwise equal. Failures
+/// are modelled as the scheduler mutates state: the running task is killed
+/// and the queue sits idle across a time gap until a later start — exactly
+/// the regime whose blanket invalidate the keep replaces.
+class ChainKeepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(ChainKeepTest, KeepPathsMatchParanoidAndRebuild) {
+  const std::uint64_t seed = std::get<0>(GetParam());
+  const bool conditioned = std::get<1>(GetParam());
+  Rng rng(seed * 0xD1B54A32D192ED03ull + (conditioned ? 17 : 2));
+  ChainHarness h(seed);
+  const double mean = h.pet.mean_overall();
+
+  CompletionModel::Options keep_options;
+  keep_options.condition_running = conditioned;
+  CompletionModel::Options paranoid_options = keep_options;
+  paranoid_options.paranoid_rebuild = true;
+
+  Tick now = 0;
+  CompletionModel kept(&h.pet, &h.machine, &h.tasks, keep_options);
+  CompletionModel paranoid(&h.pet, &h.machine, &h.tasks, paranoid_options);
+  kept.set_now(now);
+  paranoid.set_now(now);
+
+  for (int step = 0; step < 80; ++step) {
+    const auto op = rng.uniform_int(0, 9);
+    const char* what = "advance";
+    if ((op <= 2 && h.machine.queue.size() < 48) ||
+        h.machine.queue.empty()) {
+      const auto type =
+          static_cast<TaskTypeId>(rng.uniform_int(0, kTaskTypes - 1));
+      const Tick deadline =
+          now + static_cast<Tick>(mean * rng.uniform(0.5, 6.0));
+      h.machine.enqueue(h.add_task(type, deadline));
+      kept.invalidate_from(h.machine.queue.size() - 1);
+      paranoid.invalidate_from(h.machine.queue.size() - 1);
+      what = "append";
+    } else if (op == 3 && !h.machine.running) {
+      // Start the head "now" — the keep-eligible event. A late head is
+      // reactively dropped instead, mirroring start_pass.
+      const Task& head =
+          h.tasks[static_cast<std::size_t>(h.machine.queue.front())];
+      if (now < head.deadline) {
+        h.machine.running = true;
+        h.machine.run_start = now;
+        kept.notify_head_started(head.deadline);
+        paranoid.notify_head_started(head.deadline);
+        what = "start";
+      } else {
+        h.machine.queue.pop_front();
+        kept.invalidate_all();
+        paranoid.invalidate_all();
+        what = "late-head drop";
+      }
+    } else if (op == 4 && h.machine.running) {
+      h.machine.queue.pop_front();
+      h.machine.running = false;
+      kept.invalidate_all();
+      paranoid.invalidate_all();
+      what = "complete";
+    } else if (op == 5 && h.machine.running) {
+      // Machine failure: the running task is lost; the queue then sits
+      // idle across whatever time gap follows (no auto-restart).
+      h.machine.queue.pop_front();
+      h.machine.running = false;
+      kept.invalidate_all();
+      paranoid.invalidate_all();
+      what = "fail";
+    } else if (op <= 7 && h.machine.pending_count() > 0) {
+      const std::size_t pos = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(h.machine.first_pending_pos()),
+          static_cast<std::int64_t>(h.machine.queue.size() - 1)));
+      h.machine.remove_at(pos);
+      kept.invalidate_from(pos);
+      paranoid.invalidate_from(pos);
+      what = "drop";
+    } else {
+      // Mix short advances (below the conditioned slot's first kept bin —
+      // the keep regime) with long ones (crossing into the running task's
+      // completion support — the rebuild regime).
+      const Tick delta = rng.uniform01() < 0.6
+                             ? kStride * rng.uniform_int(1, 6)
+                             : kStride * rng.uniform_int(8, 40);
+      now += delta;
+      kept.set_now(now);
+      paranoid.set_now(now);
+    }
+
+    CompletionModel rebuilt = h.fresh_model(now, keep_options);
+    expect_chain_bitwise_equal(kept, paranoid, h.machine, what);
+    expect_chain_bitwise_equal(kept, rebuilt, h.machine, what);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededScripts, ChainKeepTest,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 11),
+                       ::testing::Bool()));
 
 }  // namespace
 }  // namespace taskdrop

@@ -16,7 +16,8 @@ namespace {
 using test::pet_of;
 
 SimResult run_with_failures(double mtbf, double mttr, std::uint64_t seed,
-                            int n_tasks = 300) {
+                            int n_tasks = 300, bool paranoid = false,
+                            bool conditioned = false) {
   const Scenario scenario = make_scenario(ScenarioKind::SpecHC, seed);
   WorkloadConfig workload;
   workload.n_tasks = n_tasks;
@@ -32,9 +33,29 @@ SimResult run_with_failures(double mtbf, double mttr, std::uint64_t seed,
   config.failures.mean_time_between_failures = mtbf;
   config.failures.mean_time_to_repair = mttr;
   config.failures.seed = seed ^ 0xF;
+  config.paranoid_invalidate = paranoid;
+  config.condition_running = conditioned;
   Engine engine(scenario.pet, scenario.profile.machine_types, *mapper, dropper,
                 config);
   return engine.run(trace);
+}
+
+/// Full-result bitwise comparison: every per-task outcome and every
+/// machine's billed time must match exactly.
+void expect_results_identical(const SimResult& a, const SimResult& b,
+                              const char* what) {
+  ASSERT_EQ(a.tasks.size(), b.tasks.size()) << what;
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    ASSERT_EQ(a.tasks[i].state, b.tasks[i].state) << what << " task " << i;
+    ASSERT_EQ(a.tasks[i].machine, b.tasks[i].machine) << what << " task " << i;
+    ASSERT_EQ(a.tasks[i].start_time, b.tasks[i].start_time)
+        << what << " task " << i;
+    ASSERT_EQ(a.tasks[i].finish_time, b.tasks[i].finish_time)
+        << what << " task " << i;
+    ASSERT_EQ(a.tasks[i].drop_time, b.tasks[i].drop_time)
+        << what << " task " << i;
+  }
+  ASSERT_EQ(a.busy_ticks, b.busy_ticks) << what;
 }
 
 TEST(FailureInjection, SimulationDrainsAndConservesTasks) {
@@ -131,6 +152,37 @@ TEST(FailureInjection, ProactiveDroppingStillHelpsUnderFailures) {
     return engine.run(trace).robustness_pct();
   };
   EXPECT_GT(run_one(true), run_one(false));
+}
+
+TEST(FailureInjection, ChainKeepDecisionsBitIdenticalToParanoidInvalidate) {
+  // The chain-keep fast paths (notify_head_started on starts under
+  // volatile_machines, the conditioned set_now keep) are pure cache
+  // optimisations: against the paranoid invalidate-and-rebuild scheduler
+  // they must produce the same SimResult bit for bit, failures included.
+  for (const bool conditioned : {false, true}) {
+    const char* what = conditioned ? "conditioned" : "unconditioned";
+    const SimResult keep =
+        run_with_failures(4000.0, 2000.0, 21, 300, /*paranoid=*/false,
+                          conditioned);
+    const SimResult paranoid =
+        run_with_failures(4000.0, 2000.0, 21, 300, /*paranoid=*/true,
+                          conditioned);
+    expect_results_identical(keep, paranoid, what);
+  }
+}
+
+TEST(FailureInjection, VolatileFlagAloneKeepsDecisionsIdentical) {
+  // Satellite regression for the old blanket invalidate at task_started:
+  // a fleet *declared* volatile (failures enabled) whose machines happen to
+  // stay up the whole run must decide exactly like the paranoid rebuild —
+  // the keep is exercised on every start, the failure path never fires.
+  const double kQuietMtbf = 1e12;
+  const SimResult keep =
+      run_with_failures(kQuietMtbf, 1000.0, 22, 250, /*paranoid=*/false);
+  const SimResult paranoid =
+      run_with_failures(kQuietMtbf, 1000.0, 22, 250, /*paranoid=*/true);
+  EXPECT_EQ(keep.counts().lost_to_failure, 0);
+  expect_results_identical(keep, paranoid, "volatile-only");
 }
 
 TEST(FailureInjection, RecoveryRestartsTheQueue) {

@@ -179,6 +179,23 @@ TEST(OnlineSnapshot, EverySplitPointResumesByteIdentically) {
   }
 }
 
+TEST(OnlineSnapshot, ConditionedVolatileResumesByteIdentically) {
+  // condition_running=1 together with failures drives the chain-keeping
+  // paths (conditioned set_now keep, notify_head_started) across a
+  // snapshot boundary: the script's Down/Up events at steps 13/21 plus
+  // the conditioned re-examinations must replay byte-identically from
+  // any split point, and the config echo must round-trip the flags.
+  OnlineConfig config = volatile_config();
+  config.condition_running = true;
+  const std::vector<Ev> script = make_script("PAM", config);
+  const std::string uninterrupted = run_full(script, "PAM", config);
+  ASSERT_FALSE(uninterrupted.empty());
+  for (std::size_t split = 0; split <= script.size(); ++split) {
+    EXPECT_EQ(run_split(script, split, "PAM", config), uninterrupted)
+        << "divergence when killed after event " << split;
+  }
+}
+
 TEST(OnlineSnapshot, RoundRobinMapperStateSurvivesResume) {
   // RR is the one stock mapper with genuine cross-event state (the cyclic
   // dealing position); a restore that lost it would re-deal from machine 0

@@ -24,7 +24,15 @@ layering DAG — suites may reach into any layer):
    the allocating kernel itself) carries a
    `layering-allow(direct-convolve)` comment on the same or previous line.
 
-4. *No floating-point literal ==/!= in src/*: bitwise float comparison
+4. *No FFT-plan bypass outside the prob layer*: the radix-2 kernel in
+   `prob/fft.hpp` does not preserve the direct kernels' summation order, so
+   whether it runs must stay a prob-internal decision (the measured
+   crossover gate inside the `*_into` kernels). Including `prob/fft.hpp` or
+   naming `FftPlan` outside src/prob is flagged; a deliberate exception
+   (e.g. a benchmark pinning the gate) carries a
+   `layering-allow(fft-plan)` comment on the same or previous line.
+
+5. *No floating-point literal ==/!= in src/*: bitwise float comparison
    belongs to the lockdown test suites; in src/ an exact compare against a
    float literal is only allowed with a justifying `float-eq-ok` comment
    (the sparse-skip `p[i] == 0.0` idiom).
@@ -65,12 +73,15 @@ SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
 ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
 DIRECT_CONVOLVE_RE = re.compile(r"(?<![\w_])(?:deadline_)?convolve\s*\(")
+FFT_PLAN_RE = re.compile(r"(?<![\w_])FftPlan(?![\w_])")
+FFT_INCLUDE = "prob/fft.hpp"
 FLOAT_LITERAL = r"[-+]?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?"
 FLOAT_EQ_RE = re.compile(
     r"(?:[=!]=\s*{lit})|(?:{lit}\s*[=!]=)".format(lit=FLOAT_LITERAL)
 )
 
 ALLOW_CONVOLVE = "layering-allow(direct-convolve)"
+ALLOW_FFT = "layering-allow(fft-plan)"
 ALLOW_FLOAT_EQ = "float-eq-ok"
 
 
@@ -189,6 +200,15 @@ def check_file(path: Path, root: Path, edges: dict) -> list:
                 continue  # non-module include ("test_util.hpp" etc.)
             line = include_text.count("\n", 0, match.start()) + 1
             edges.setdefault((module, target), []).append((path, line))
+            if (module != "prob" and match.group(1) == FFT_INCLUDE
+                    and not line_allowed(raw_lines, line - 1, ALLOW_FFT)):
+                violations.append(
+                    Violation(
+                        path, line, "fft-plan",
+                        "including prob/fft.hpp outside src/prob bypasses "
+                        "the measured crossover gate — convolve through the "
+                        "*_into kernels (or annotate with "
+                        f"{ALLOW_FFT})"))
             if LAYERS[target] > layer:
                 violations.append(
                     Violation(
@@ -214,6 +234,15 @@ def check_file(path: Path, root: Path, edges: dict) -> list:
                     "direct convolve()/deadline_convolve() bypasses "
                     "PmfWorkspace — use the *_into kernels (or annotate "
                     f"with {ALLOW_CONVOLVE})"))
+        if (module is not None and not in_prob
+                and FFT_PLAN_RE.search(text)
+                and not line_allowed(raw_lines, i, ALLOW_FFT)):
+            violations.append(
+                Violation(
+                    path, i + 1, "fft-plan",
+                    "FftPlan outside src/prob bypasses the measured "
+                    "crossover gate — convolve through the *_into kernels "
+                    f"(or annotate with {ALLOW_FFT})"))
         if (module is not None and module not in ("cli", "bench", "examples")
                 and FLOAT_EQ_RE.search(text)
                 and not line_allowed(raw_lines, i, ALLOW_FLOAT_EQ)):

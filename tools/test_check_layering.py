@@ -142,6 +142,43 @@ class CheckLayeringTest(unittest.TestCase):
         violations, _ = self.tree.scan()
         self.assertEqual(violations, [])
 
+    # ------------------------------ fft-plan ------------------------------
+
+    def test_fft_include_outside_prob_is_flagged(self):
+        self.tree.write("src/core/model.cpp",
+                        '#include "prob/fft.hpp"\n')
+        violations, _ = self.tree.scan()
+        self.assertEqual(self.rules_of(violations), ["fft-plan"])
+
+    def test_fft_plan_usage_outside_prob_is_flagged(self):
+        self.tree.write("src/sched/pam.cpp",
+                        "void f() { FftPlan plan; plan.convolve(a); }\n")
+        violations, _ = self.tree.scan()
+        # Direct FftPlan use trips both the fft-plan rule and (via .convolve)
+        # the direct-convolve rule — each bypass is independently real.
+        self.assertIn("fft-plan", self.rules_of(violations))
+
+    def test_fft_inside_prob_is_clean(self):
+        self.tree.write("src/prob/convolution.cpp",
+                        '#include "prob/fft.hpp"\n'
+                        "void f(PmfWorkspace& ws) { FftPlan& p = ws.fft; }\n")
+        violations, _ = self.tree.scan()
+        self.assertEqual(violations, [])
+
+    def test_fft_marker_suppresses(self):
+        self.tree.write(
+            "bench/micro.cpp",
+            "// layering-allow(fft-plan): pins the gate for the A/B curve.\n"
+            '#include "prob/fft.hpp"\n')
+        violations, _ = self.tree.scan()
+        self.assertEqual(violations, [])
+
+    def test_fft_mentioned_in_comment_is_clean(self):
+        self.tree.write("src/core/model.cpp",
+                        "// wide chains could use an FftPlan some day\n")
+        violations, _ = self.tree.scan()
+        self.assertEqual(violations, [])
+
     # ------------------------------ float-eq ------------------------------
 
     def test_float_literal_equality_is_flagged(self):
